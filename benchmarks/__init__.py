@@ -1,0 +1,7 @@
+"""Benchmark/experiment harness: one module per reproduced table or figure.
+
+See DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for the
+paper-versus-measured record.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

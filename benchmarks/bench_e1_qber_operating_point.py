@@ -1,0 +1,64 @@
+"""E1 — The paper's operating point (section 4).
+
+Paper claims: "our weak-coherent link is operating with a 1 MHz pulse
+repetition rate, mean photon-emission number of 0.1 photons per pulse, and
+approximately a 6-8% Quantum Bit Error Rate (QBER)" over the 10 km fiber
+spool.  This benchmark Monte-Carlos the simulated link at that operating
+point and sweeps QBER versus fiber length.
+"""
+
+from benchmarks.conftest import run_once
+from repro.optics.channel import ChannelParameters, QuantumChannel
+from repro.util.rng import DeterministicRNG
+
+DISTANCES_KM = [0, 5, 10, 20, 30, 40, 50, 60, 70]
+
+
+def test_e1_operating_point_qber(benchmark, table):
+    def experiment():
+        channel = QuantumChannel(ChannelParameters.paper_operating_point(), DeterministicRNG(1))
+        result = channel.transmit(3_000_000)
+        return {
+            "expected_qber": channel.expected_qber(),
+            "measured_qber": result.qber,
+            "sifted_per_second": channel.sifted_rate_per_second(),
+            "n_sifted": result.n_sifted,
+        }
+
+    outcome = run_once(benchmark, experiment)
+    table(
+        "E1: weak-coherent link at the paper's operating point (mu=0.1, 1 MHz, 10 km)",
+        ["quantity", "paper", "measured"],
+        [
+            ["QBER", "6-8 %", f"{outcome['measured_qber']:.1%}"],
+            ["QBER (analytic)", "6-8 %", f"{outcome['expected_qber']:.1%}"],
+            ["sifted rate", "O(1000) bits/s", f"{outcome['sifted_per_second']:.0f} bits/s"],
+        ],
+    )
+    # Shape assertions: the measured QBER falls in the paper's stated band.
+    assert 0.05 <= outcome["measured_qber"] <= 0.09
+    assert 0.06 <= outcome["expected_qber"] <= 0.08
+
+
+def test_e1_qber_vs_distance(benchmark, table):
+    def experiment():
+        rows = []
+        for distance in DISTANCES_KM:
+            channel = QuantumChannel(ChannelParameters.for_distance(distance), DeterministicRNG(2))
+            rows.append((distance, channel.expected_qber(), channel.sifted_rate_per_second()))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table(
+        "E1: QBER and sifted rate vs fiber length",
+        ["km", "QBER", "sifted bits/s"],
+        [[d, f"{q:.1%}", f"{r:.0f}"] for d, q, r in rows],
+    )
+    qbers = [q for _, q, _ in rows]
+    rates = [r for _, _, r in rows]
+    # QBER rises monotonically with distance; the sifted rate falls.
+    assert all(a <= b + 1e-9 for a, b in zip(qbers, qbers[1:]))
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    # At 70 km the error rate is near/above the BB84 abort region, matching the
+    # paper's "up to about 70 km" limit for fiber QKD.
+    assert qbers[-1] > 0.10

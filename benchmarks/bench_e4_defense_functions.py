@@ -1,0 +1,100 @@
+"""E4 — Defense functions and resultant entropy (section 6 and the Appendix).
+
+The Appendix tabulates two estimates of Eve's knowledge from error-inducing
+attacks (Bennett et al., Slutsky et al.) and the resultant-entropy formula
+``b - d - r - t - m - c*sigma`` that sets the privacy-amplification output.
+This benchmark regenerates that table as a sweep over the observed QBER: the
+defense estimates, the multi-photon (transparent) charge, and the distillable
+fraction for both defense functions, including the 5-sigma confidence margin.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.entropy_estimation import (
+    BennettDefense,
+    EntropyEstimator,
+    EntropyInputs,
+    SlutskyDefense,
+)
+from repro.mathkit.entropy import binary_entropy
+
+BLOCK_BITS = 4096
+QBERS = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.10, 0.12]
+
+
+def _inputs(qber):
+    disclosed = int(1.35 * binary_entropy(qber) * BLOCK_BITS) + 150
+    return EntropyInputs(
+        sifted_bits=BLOCK_BITS,
+        error_bits=int(round(qber * BLOCK_BITS)),
+        transmitted_pulses=BLOCK_BITS * 300,
+        disclosed_parities=disclosed,
+        mean_photon_number=0.1,
+    )
+
+
+def test_e4_defense_function_sweep(benchmark, table):
+    def experiment():
+        bennett = EntropyEstimator(defense=BennettDefense(), confidence_sigmas=5.0)
+        slutsky = EntropyEstimator(defense=SlutskyDefense(), confidence_sigmas=5.0)
+        rows = []
+        for qber in QBERS:
+            inputs = _inputs(qber)
+            estimate_b = bennett.estimate(inputs)
+            estimate_s = slutsky.estimate(inputs)
+            rows.append((qber, inputs.disclosed_parities, estimate_b, estimate_s))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table(
+        "E4: resultant entropy per 4096-bit block (Bennett vs Slutsky, c = 5)",
+        ["QBER", "d", "t_Bennett", "t_Slutsky", "multi-photon", "distill(B)", "distill(S)"],
+        [
+            [
+                f"{qber:.0%}",
+                disclosed,
+                f"{eb.defense.information_bits:.0f}",
+                f"{es.defense.information_bits:.0f}",
+                f"{eb.transparent.information_bits:.0f}",
+                eb.distillable_bits,
+                es.distillable_bits,
+            ]
+            for qber, disclosed, eb, es in rows
+        ],
+    )
+
+    bennett_keys = [eb.distillable_bits for _, _, eb, _ in rows]
+    slutsky_keys = [es.distillable_bits for _, _, _, es in rows]
+    # Shape: distillable key falls monotonically with QBER for both defenses.
+    assert all(a >= b for a, b in zip(bennett_keys, bennett_keys[1:]))
+    assert all(a >= b for a, b in zip(slutsky_keys, slutsky_keys[1:]))
+    # Slutsky is at least as conservative as Bennett everywhere on the sweep.
+    assert all(s <= b for b, s in zip(bennett_keys, slutsky_keys))
+    # At the paper's 6-8% operating band, Bennett still distills key.
+    operating = [eb.distillable_bits for qber, _, eb, _ in rows if 0.06 <= qber <= 0.08]
+    assert all(k > 0 for k in operating)
+    # Slutsky reaches zero no later than 12%.
+    assert slutsky_keys[-1] == 0
+
+
+def test_e4_confidence_parameter(benchmark, table):
+    """The paper: 'a parameter c = 5 mean 5 standard deviations, or about 10-6
+    chance of successful eavesdropping'."""
+
+    def experiment():
+        inputs = _inputs(0.065)
+        rows = []
+        for c in (0.0, 1.0, 3.0, 5.0, 7.0):
+            estimate = EntropyEstimator(defense=BennettDefense(), confidence_sigmas=c).estimate(inputs)
+            rows.append((c, estimate.distillable_bits, estimate.eavesdropping_success_probability))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table(
+        "E4: effect of the confidence parameter c at 6.5% QBER",
+        ["c (sigmas)", "distillable bits", "P(successful eavesdropping)"],
+        [[f"{c:.0f}", bits, f"{p:.1e}"] for c, bits, p in rows],
+    )
+    keys = [bits for _, bits, _ in rows]
+    assert all(a >= b for a, b in zip(keys, keys[1:]))
+    c5 = next(p for c, _, p in rows if c == 5.0)
+    assert c5 < 1e-5

@@ -1,0 +1,116 @@
+"""E8 — Trusted relay meshes: robustness and interconnection cost (sections 3, 8).
+
+Paper claims: "a meshed QKD network is inherently far more robust than any
+single point-to-point link since it offers multiple paths for key
+distribution"; "QKD networks can be engineered with as much redundancy as
+desired simply by adding more links and relays"; and they "reduce the
+required (N x N-1)/2 point-to-point links to as few as N links".
+
+Part one measures end-to-end key-delivery availability versus the number of
+failed links for a point-to-point link and for the relay mesh.  Part two
+regenerates the interconnection-cost comparison.
+"""
+
+from benchmarks.conftest import run_once
+from repro.network import QKDNetwork, TrustedRelayNetwork, interconnection_cost
+from repro.util.rng import DeterministicRNG
+
+FAILURE_COUNTS = [0, 1, 2, 3]
+TRIALS_PER_POINT = 12
+
+
+def _availability_after_failures(build_network, n_failures, trials, seed):
+    """Fraction of trials in which an end-to-end key can still be delivered."""
+    successes = 0
+    for trial in range(trials):
+        rng = DeterministicRNG(seed * 1000 + trial)
+        network, source, destination = build_network(rng)
+        relay = TrustedRelayNetwork(network, rng.fork("relay"))
+        relay.run_links_for(120.0)
+        network.fail_random_links(n_failures)
+        if relay.transport_with_reroute(source, destination, 128).success:
+            successes += 1
+    return successes / trials
+
+
+def _point_to_point(rng):
+    return QKDNetwork.point_to_point(10.0), "alice", "bob"
+
+
+def _mesh(rng):
+    network = QKDNetwork.relay_mesh(n_endpoints=2, n_relays=5, extra_cross_links=3, rng=rng)
+    # Dual-home each endpoint ("as much redundancy as desired simply by adding
+    # more links and relays"), so no single access-fiber cut isolates it.
+    network.add_link("endpoint-0", "relay-2", 10.0)
+    network.add_link("endpoint-1", "relay-3", 10.0)
+    return network, "endpoint-0", "endpoint-1"
+
+
+def test_e8_mesh_robustness_vs_point_to_point(benchmark, table):
+    def experiment():
+        rows = []
+        for failures in FAILURE_COUNTS:
+            p2p = _availability_after_failures(_point_to_point, failures, TRIALS_PER_POINT, seed=1)
+            mesh = _availability_after_failures(_mesh, failures, TRIALS_PER_POINT, seed=2)
+            rows.append((failures, p2p, mesh))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table(
+        "E8: key-delivery availability vs failed links",
+        ["links failed", "point-to-point", "relay mesh"],
+        [[f, f"{p:.0%}", f"{m:.0%}"] for f, p, m in rows],
+    )
+    availability = {f: (p, m) for f, p, m in rows}
+    # With no failures both deliver.
+    assert availability[0] == (1.0, 1.0)
+    # A single failure kills the point-to-point link outright but not the mesh.
+    assert availability[1][0] == 0.0
+    assert availability[1][1] >= 0.9
+    # The mesh degrades gracefully: even with 3 failed links it usually delivers.
+    assert availability[3][1] >= 0.5
+    # The mesh strictly dominates the point-to-point link at every failure count.
+    assert all(m >= p for _, p, m in rows)
+
+
+def test_e8_eavesdropping_triggers_reroute(benchmark, table):
+    """Links shut down for eavesdropping are treated like cut fibers by routing."""
+
+    def experiment():
+        rng = DeterministicRNG(5)
+        network = QKDNetwork.relay_mesh(n_endpoints=2, n_relays=5, extra_cross_links=3, rng=rng)
+        relay = TrustedRelayNetwork(network, rng.fork("relay"))
+        relay.run_links_for(120.0)
+        healthy = relay.transport_key("endpoint-0", "endpoint-1", 128)
+        network.mark_eavesdropped(healthy.path[1], healthy.path[2])
+        rerouted = relay.transport_with_reroute("endpoint-0", "endpoint-1", 128)
+        return healthy, rerouted
+
+    healthy, rerouted = run_once(benchmark, experiment)
+    table(
+        "E8: routing around a link with detected eavesdropping",
+        ["scenario", "delivered", "path"],
+        [
+            ["healthy network", healthy.success, " -> ".join(healthy.path)],
+            ["after eavesdropping detected", rerouted.success, " -> ".join(rerouted.path)],
+        ],
+    )
+    assert healthy.success and rerouted.success
+    assert rerouted.path != healthy.path
+
+
+def test_e8_interconnection_cost(benchmark, table):
+    def experiment():
+        return [(n, interconnection_cost(n)) for n in (2, 4, 8, 16, 32, 64)]
+
+    rows = run_once(benchmark, experiment)
+    table(
+        "E8: links needed to interconnect N enclaves",
+        ["N", "pairwise N(N-1)/2", "QKD network (star) N"],
+        [[n, cost["pairwise_links"], cost["star_links"]] for n, cost in rows],
+    )
+    for n, cost in rows:
+        assert cost["pairwise_links"] == n * (n - 1) // 2
+        assert cost["star_links"] == n
+        if n > 3:
+            assert cost["star_links"] < cost["pairwise_links"]

@@ -1,0 +1,101 @@
+"""E9 — Untrusted optical switches: insertion loss vs reach (section 8).
+
+Paper claims: "Unlike trusted relays, untrusted switches cannot extend the
+geographic reach of a QKD network.  In fact, they may significantly reduce it
+since each switch adds at least a fractional dB insertion loss along the
+photonic path."
+
+The benchmark sweeps (a) the number of switches on a fixed-length path and
+(b) the reachable distance for a given switch count, and contrasts the
+result with a trusted-relay chain over the same geography (which pays no
+photonic penalty because every hop is a fresh QKD link).
+"""
+
+from benchmarks.conftest import run_once
+from repro.network.switches import UntrustedSwitchNetwork
+from repro.network.topology import QKDNetwork
+
+SWITCH_COUNTS = [0, 1, 2, 3, 4, 5, 6]
+SPAN_KM = 5.0
+INSERTION_LOSS_DB = 0.5
+
+
+def test_e9_key_rate_vs_switch_count(benchmark, table):
+    def experiment():
+        return [UntrustedSwitchNetwork.chain(k, SPAN_KM, INSERTION_LOSS_DB) for k in SWITCH_COUNTS]
+
+    reports = run_once(benchmark, experiment)
+    table(
+        f"E9: end-to-end key rate vs number of switches ({SPAN_KM:g} km spans, "
+        f"{INSERTION_LOSS_DB} dB insertion loss)",
+        ["switches", "fiber km", "total loss dB", "QBER", "secret bits/s"],
+        [
+            [
+                r.n_switches,
+                f"{r.fiber_length_km:.0f}",
+                f"{r.total_loss_db:.1f}",
+                f"{r.expected_qber:.1%}",
+                f"{r.secret_key_rate_bps:.1f}",
+            ]
+            for r in reports
+        ],
+    )
+    rates = [r.secret_key_rate_bps for r in reports]
+    # Every added switch strictly reduces the key rate.
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+    # Loss budget grows linearly with switch count.
+    for r in reports:
+        expected_loss = r.fiber_length_km * 0.2 + r.n_switches * INSERTION_LOSS_DB
+        assert abs(r.total_loss_db - expected_loss) < 1e-6
+
+
+def test_e9_switches_reduce_reach(benchmark, table):
+    """Maximum end-to-end distance that still yields key, vs switch count."""
+
+    def experiment():
+        rows = []
+        for n_switches in (0, 2, 4, 6):
+            reach = 0
+            for total_km in range(10, 90, 5):
+                span = total_km / (n_switches + 1)
+                report = UntrustedSwitchNetwork.chain(n_switches, span, INSERTION_LOSS_DB)
+                if report.viable:
+                    reach = total_km
+            rows.append((n_switches, reach))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table(
+        "E9: maximum reach with key still flowing",
+        ["switches on path", "max end-to-end distance (km)"],
+        [[n, f"{reach}"] for n, reach in rows],
+    )
+    reach = dict(rows)
+    # More switches, shorter reach — the paper's central point about untrusted networks.
+    assert reach[0] >= reach[2] >= reach[4] >= reach[6]
+    assert reach[0] > reach[6]
+
+
+def test_e9_trusted_relays_extend_reach_where_switches_cannot(benchmark, table):
+    """Contrast: a chain of trusted relays spans a distance no single optical path can."""
+
+    def experiment():
+        total_km = 80.0
+        # Untrusted: one all-optical path with two switches.
+        optical = UntrustedSwitchNetwork.chain(2, total_km / 3, INSERTION_LOSS_DB)
+        # Trusted: three independent 26.7 km QKD links joined by relays; the
+        # end-to-end rate is the bottleneck link rate.
+        relay_link_rate = QKDNetwork.estimate_link_rate(total_km / 3)
+        return optical, relay_link_rate
+
+    optical, relay_rate = run_once(benchmark, experiment)
+    table(
+        "E9: 80 km end-to-end — untrusted optical path vs trusted relay chain",
+        ["architecture", "secret bits/s"],
+        [
+            ["all-optical, 2 untrusted switches", f"{optical.secret_key_rate_bps:.1f}"],
+            ["3 links via 2 trusted relays", f"{relay_rate:.1f}"],
+        ],
+    )
+    assert optical.secret_key_rate_bps == 0.0
+    assert relay_rate > 0.0

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``bench_eNN_*.py`` file regenerates one of the paper's quantitative
+results (see DESIGN.md section 4 and EXPERIMENTS.md).  The benchmarks print
+the same rows/series the paper reports and assert the qualitative *shape*
+(who wins, trends, crossovers); absolute values depend on hardware constants
+the paper does not fully specify and are recorded in EXPERIMENTS.md instead.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import sys
+
+import pytest
+
+
+def emit(title, headers, rows):
+    """Print a small aligned table so the benchmark output reads like the paper."""
+    print(f"\n=== {title} ===", file=sys.stderr)
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(header_line, file=sys.stderr)
+    print("-" * len(header_line), file=sys.stderr)
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)), file=sys.stderr)
+
+
+@pytest.fixture
+def table():
+    """Fixture exposing the table printer to benchmark functions."""
+    return emit
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Bennett versus Slutsky: how much key survives at a given error rate.
+
+The Appendix of the paper tabulates two "defense functions" — estimates of
+the information Eve can have gained from error-inducing attacks — and the
+resultant-entropy formula that decides how hard privacy amplification must
+squeeze.  This example sweeps the observed QBER and prints, for each defense
+function, the components of the estimate and the distillable fraction of a
+4096-bit corrected block, reproducing the trade-off the paper describes:
+Bennett's linear estimate is gentler at realistic error rates, Slutsky's
+frontier is more conservative and reaches zero sooner.
+
+Run:  python examples/defense_functions.py
+"""
+
+from repro.core.entropy_estimation import (
+    BennettDefense,
+    EntropyEstimator,
+    EntropyInputs,
+    SlutskyDefense,
+)
+
+
+def main() -> None:
+    block_bits = 4096
+    transmitted = block_bits * 300          # ~1 sifted bit per 300 pulses
+    disclosed = int(1.3 * block_bits * 0.35)  # typical Cascade disclosure at ~7 % QBER
+
+    print("=== distillable key fraction vs observed QBER (4096-bit blocks) ===")
+    print(f"{'QBER':>6s} | {'defense':>9s} {'Bennett':>9s} {'Slutsky':>9s} | "
+          f"{'distill(B)':>10s} {'distill(S)':>10s}")
+    print("-" * 66)
+
+    bennett = EntropyEstimator(defense=BennettDefense(), confidence_sigmas=5.0)
+    slutsky = EntropyEstimator(defense=SlutskyDefense(), confidence_sigmas=5.0)
+
+    for qber_percent in (0.5, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 15):
+        qber = qber_percent / 100.0
+        errors = int(round(qber * block_bits))
+        # Disclosure grows with the error rate (Cascade has to work harder).
+        from repro.mathkit.entropy import binary_entropy
+        parities = int(1.35 * binary_entropy(max(qber, 1e-4)) * block_bits) + 150
+        inputs = EntropyInputs(
+            sifted_bits=block_bits,
+            error_bits=errors,
+            transmitted_pulses=transmitted,
+            disclosed_parities=parities,
+            mean_photon_number=0.1,
+        )
+        estimate_b = bennett.estimate(inputs)
+        estimate_s = slutsky.estimate(inputs)
+        print(
+            f"{qber_percent:5.1f}% | "
+            f"{'':>9s} {estimate_b.defense.information_bits:9.0f} "
+            f"{estimate_s.defense.information_bits:9.0f} | "
+            f"{estimate_b.secret_fraction:10.1%} {estimate_s.secret_fraction:10.1%}"
+        )
+
+    print()
+    print("At the paper's 6-8 % operating point the Bennett estimate still leaves a")
+    print("usable fraction of every block, while the Slutsky frontier (with a 5-sigma")
+    print("margin) is close to the break-even point — which is why the engine lets the")
+    print("operator choose, exactly as the paper's protocol suite does.")
+
+    print()
+    print("=== the confidence parameter c ===")
+    inputs = EntropyInputs(
+        sifted_bits=block_bits,
+        error_bits=int(0.065 * block_bits),
+        transmitted_pulses=transmitted,
+        disclosed_parities=disclosed,
+        mean_photon_number=0.1,
+    )
+    for c in (0.0, 1.0, 3.0, 5.0, 7.0):
+        estimator = EntropyEstimator(defense=BennettDefense(), confidence_sigmas=c)
+        estimate = estimator.estimate(inputs)
+        print(f"  c = {c:3.0f} sigma: distillable {estimate.distillable_bits:5d} bits, "
+              f"eavesdropping success probability ~ {estimate.eavesdropping_success_probability:.1e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Eve on the fiber: what the protocols see under attack (paper sections 1, 6).
+
+Three scenarios over the same 10 km link:
+
+* a clean run, for reference;
+* a full intercept-resend attack — Eve measures every photon and resends her
+  result, which drives the QBER to ~25 % + the intrinsic error rate and makes
+  every block fail the eavesdropping alarm;
+* a photon-number-splitting (beam-splitting) attack — Eve silently keeps one
+  photon from every multi-photon pulse; the QBER does not move at all, and the
+  defense is purely the multi-photon charge in entropy estimation, which this
+  example compares against what Eve actually learned.
+
+Run:  python examples/eavesdropper_detection.py
+"""
+
+from repro.eve import BeamSplittingAttack, InterceptResendAttack
+from repro.link import LinkParameters, QKDLink
+from repro.util import DeterministicRNG
+
+
+def run_scenario(name: str, attack, seconds: float = 1.5, seed: int = 11):
+    link = QKDLink(LinkParameters.paper_link(), rng=DeterministicRNG(seed), name=name)
+    if attack is not None:
+        link.attach_attack(attack)
+    report = link.run_seconds(seconds)
+    return link, report
+
+
+def main() -> None:
+    print("=== scenario 1: clean link ===")
+    _, clean = run_scenario("clean", None)
+    print(f"  QBER {clean.mean_qber:.1%}, {clean.distilled_bits} bits distilled, "
+          f"{clean.blocks_aborted} blocks aborted")
+
+    print("\n=== scenario 2: intercept-resend on every pulse ===")
+    attack = InterceptResendAttack(intercept_fraction=1.0)
+    _, attacked = run_scenario("intercept-resend", attack)
+    expected = 0.25
+    print(f"  QBER {attacked.mean_qber:.1%} "
+          f"(theory: ~{expected:.0%} induced + intrinsic error rate)")
+    print(f"  blocks aborted by the eavesdropping alarm: {attacked.blocks_aborted}")
+    print(f"  key distilled while under attack: {attacked.distilled_bits} bits")
+    print("  -> Alice and Bob detect Eve and stop using the link, exactly as BB84 promises.")
+
+    print("\n=== scenario 3: partial intercept-resend (25% of pulses) ===")
+    partial_attack = InterceptResendAttack(intercept_fraction=0.25)
+    _, partial = run_scenario("partial-intercept", partial_attack)
+    print(f"  QBER {partial.mean_qber:.1%} "
+          f"(theory: intrinsic + {0.25 * 0.25:.1%} induced)")
+    print(f"  blocks aborted: {partial.blocks_aborted}, distilled: {partial.distilled_bits} bits")
+    print("  -> even when some blocks survive, entropy estimation charges the extra errors")
+    print("     against the key, shrinking what privacy amplification lets through.")
+
+    print("\n=== scenario 4: photon-number splitting (transparent attack) ===")
+    pns = BeamSplittingAttack()
+    link, silent = run_scenario("beam-splitting", pns)
+    print(f"  QBER {silent.mean_qber:.1%}  (unchanged: the attack induces no errors)")
+    print(f"  blocks aborted: {silent.blocks_aborted}  (nothing to detect)")
+
+    # Compare what Eve actually learned with what the engine charged for.
+    frame = link.channel.transmit(1_000_000, attack=pns)
+    eve_known = BeamSplittingAttack.eve_known_sifted_bits(frame)
+    sifted = frame.n_sifted
+    charged_fraction = 0.0
+    for outcome in silent.outcomes:
+        if outcome.entropy is not None and outcome.sifted_bits:
+            charged_fraction = outcome.entropy.transparent.information_bits / outcome.sifted_bits
+            break
+    print(f"  over a fresh 1M-pulse frame: Eve holds photons for {eve_known} of "
+          f"{sifted} sifted bits ({eve_known / max(sifted, 1):.1%})")
+    print(f"  entropy estimation charged {charged_fraction:.1%} of each block for "
+          "transparent leakage — the charge covers the leak, so the distilled key is safe.")
+
+
+if __name__ == "__main__":
+    main()

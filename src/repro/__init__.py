@@ -1,0 +1,24 @@
+"""repro — a reproduction of "Quantum Cryptography in Practice" (SIGCOMM 2003).
+
+The package re-implements the DARPA Quantum Network described by Elliott,
+Pearson and Troxel as a pure-Python simulation and protocol library:
+
+* :mod:`repro.optics` — the weak-coherent BB84 physical layer (attenuated
+  laser pulses, Mach-Zehnder phase encoding, fiber loss, gated APDs).
+* :mod:`repro.core` — the QKD protocol engine: sifting, Cascade error
+  correction, entropy estimation (Bennett / Slutsky defense functions),
+  privacy amplification and Wegman-Carter authentication.
+* :mod:`repro.eve` — eavesdropping attack models (intercept-resend,
+  photon-number splitting, man-in-the-middle, denial of service).
+* :mod:`repro.link` — a full Alice/Bob QKD link producing distilled key.
+* :mod:`repro.ipsec` — IPsec/IKE with the paper's QKD extensions (continually
+  reseeded AES keys and one-time-pad security associations).
+* :mod:`repro.network` — trusted-relay and untrusted-switch QKD networks.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced experiment.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,125 @@
+"""The distilled-key reservoir behind the VPN / OPC interface.
+
+The top of the paper's protocol stack (Fig 9) is the "VPN / OPC Interface":
+distilled, authenticated key bits accumulate in a reservoir from which
+consumers — the IKE daemon reseeding its security associations, the one-time
+pad encryptor, the authentication stage replenishing its own secret pool —
+draw blocks of key.  The reservoir is where the paper's "race between the
+rate at which keying material is put into place and the rate at which it is
+consumed" becomes concrete, so the pool tracks both sides of that race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.util.bits import BitString
+
+
+class KeyPoolExhaustedError(Exception):
+    """Raised when a consumer requests more key than the pool holds."""
+
+
+@dataclass
+class KeyBlock:
+    """One block of distilled key delivered by the QKD protocol engine."""
+
+    bits: BitString
+    block_id: int
+    #: Engine bookkeeping carried along for reporting: QBER seen for this
+    #: block and the number of sifted bits it was distilled from.
+    qber: float = 0.0
+    sifted_bits: int = 0
+    created_at: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+
+@dataclass
+class KeyPool:
+    """A FIFO reservoir of distilled key bits shared by Alice and Bob.
+
+    Each endpoint holds its own :class:`KeyPool`; because the QKD protocols
+    guarantee both ends distilled identical blocks in identical order, paired
+    pools stay bit-for-bit synchronised as long as consumers on both sides
+    draw the same amounts in the same order (which the IKE extension
+    negotiates explicitly via its Qblock offer/reply).
+    """
+
+    name: str = "keypool"
+    blocks: List[KeyBlock] = field(default_factory=list)
+    #: Bits already consumed from the head block.
+    _head_offset: int = 0
+    bits_added: int = 0
+    bits_consumed: int = 0
+    #: Optional cap on stored bits, modelling a bounded key store.
+    capacity_bits: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+
+    def add_block(self, block: KeyBlock) -> None:
+        """Append a freshly distilled block."""
+        if self.capacity_bits is not None:
+            if self.available_bits + len(block) > self.capacity_bits:
+                raise ValueError("key pool capacity exceeded")
+        self.blocks.append(block)
+        self.bits_added += len(block)
+
+    def add_bits(self, bits: BitString, block_id: int = -1, qber: float = 0.0) -> None:
+        """Convenience producer used by tests and simple examples."""
+        self.add_block(KeyBlock(bits=bits, block_id=block_id, qber=qber))
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+
+    @property
+    def available_bits(self) -> int:
+        """Bits currently available for consumption."""
+        total = sum(len(block) for block in self.blocks)
+        return total - self._head_offset
+
+    @property
+    def available_bytes(self) -> int:
+        return self.available_bits // 8
+
+    def draw_bits(self, count: int) -> BitString:
+        """Consume ``count`` bits in FIFO order."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > self.available_bits:
+            raise KeyPoolExhaustedError(
+                f"{self.name}: need {count} bits, have {self.available_bits}"
+            )
+        collected: List[BitString] = []
+        needed = count
+        while needed > 0:
+            head = self.blocks[0]
+            available_in_head = len(head) - self._head_offset
+            take = min(needed, available_in_head)
+            collected.append(head.bits[self._head_offset : self._head_offset + take])
+            self._head_offset += take
+            needed -= take
+            if self._head_offset == len(head):
+                self.blocks.pop(0)
+                self._head_offset = 0
+        self.bits_consumed += count
+        return BitString().concat(*collected)
+
+    def draw_bytes(self, count: int) -> bytes:
+        """Consume ``count`` whole bytes of key material."""
+        return self.draw_bits(count * 8).to_bytes()
+
+    def peek_available(self) -> int:
+        """Alias kept for symmetry with the IKE extension's Qblock accounting."""
+        return self.available_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyPool({self.name}: available={self.available_bits} bits, "
+            f"added={self.bits_added}, consumed={self.bits_consumed})"
+        )

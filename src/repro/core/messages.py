@@ -1,0 +1,261 @@
+"""Protocol messages exchanged over the public channel.
+
+Every stage of the QKD pipeline communicates through explicit message objects
+so that (a) the information disclosed to an eavesdropper is exactly what is
+carried in these objects and can be measured, (b) a man-in-the-middle attack
+model can tamper with them, and (c) the authentication stage has a concrete
+transcript to tag.
+
+Each message knows how to serialise itself to bytes (:meth:`encode`), both so
+the authentication layer can tag real byte strings and so message sizes can
+be reported (the run-length-encoding experiment E12 compares encodings by
+size).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.util.bits import BitString
+
+
+def _encode_payload(kind: str, payload: Dict) -> bytes:
+    """Stable JSON encoding used for authentication tags and size accounting."""
+    return json.dumps({"kind": kind, **payload}, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass
+class SiftMessage:
+    """Bob -> Alice: which slots produced usable clicks, and in which basis.
+
+    The slot indication is run-length encoded (paper Appendix, "Sifting /
+    Run-Length Encoding"): long runs of no-detection slots compress to almost
+    nothing.  ``detection_runs`` alternates (no-detection run length,
+    detection run length, ...) starting with a no-detection run.
+    """
+
+    frame_id: int
+    n_slots: int
+    detection_runs: List[int]
+    detected_bases: List[int]
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "sift",
+            {
+                "frame": self.frame_id,
+                "slots": self.n_slots,
+                "runs": self.detection_runs,
+                "bases": self.detected_bases,
+            },
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.encode())
+
+    @property
+    def uncompressed_bitmap_bytes(self) -> int:
+        """Size of the unencoded per-slot detection indication (one bit per slot).
+
+        This is the baseline the run-length encoding is compressing: without
+        it, Bob would have to indicate every slot's detected/not-detected
+        status explicitly (plus one basis bit per detection).
+        """
+        return (self.n_slots + 7) // 8 + (len(self.detected_bases) + 7) // 8
+
+
+@dataclass
+class SiftResponseMessage:
+    """Alice -> Bob: which of the reported detections used a matching basis."""
+
+    frame_id: int
+    #: One bit per reported detection, 1 = bases matched (keep), 0 = discard.
+    accept_mask: List[int]
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "sift-response", {"frame": self.frame_id, "accept": self.accept_mask}
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.encode())
+
+
+@dataclass
+class NaiveSiftMessage:
+    """The uncompressed alternative sift message (explicit slot indices).
+
+    Carried only by the E12 benchmark to quantify what run-length encoding
+    saves; never used by the engine itself.
+    """
+
+    frame_id: int
+    n_slots: int
+    detected_slots: List[int]
+    detected_bases: List[int]
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "sift-naive",
+            {
+                "frame": self.frame_id,
+                "slots": self.n_slots,
+                "indices": self.detected_slots,
+                "bases": self.detected_bases,
+            },
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.encode())
+
+
+@dataclass
+class CascadeSubsetAnnouncement:
+    """Initiator -> responder: the LFSR seeds of this round's parity subsets and
+    the initiator's parities over them."""
+
+    round_index: int
+    key_length: int
+    seeds: List[int]
+    parities: List[int]
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "cascade-subsets",
+            {
+                "round": self.round_index,
+                "length": self.key_length,
+                "seeds": self.seeds,
+                "parities": self.parities,
+            },
+        )
+
+
+@dataclass
+class CascadeParityReply:
+    """Responder -> initiator: the responder's parities over the same subsets."""
+
+    round_index: int
+    parities: List[int]
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "cascade-parities", {"round": self.round_index, "parities": self.parities}
+        )
+
+
+@dataclass
+class CascadeBisectQuery:
+    """A divide-and-conquer step: ask for the parity of half of a subrange."""
+
+    round_index: int
+    subset_index: int
+    indices: Tuple[int, ...]
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "cascade-bisect",
+            {
+                "round": self.round_index,
+                "subset": self.subset_index,
+                "indices": list(self.indices),
+            },
+        )
+
+
+@dataclass
+class CascadeBisectReply:
+    """The parity of the queried subrange."""
+
+    round_index: int
+    subset_index: int
+    parity: int
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "cascade-bisect-reply",
+            {
+                "round": self.round_index,
+                "subset": self.subset_index,
+                "parity": self.parity,
+            },
+        )
+
+
+@dataclass
+class PrivacyAmplificationMessage:
+    """Initiator -> responder: the four privacy-amplification parameters.
+
+    Exactly the four things the paper lists: the number of output bits m, the
+    sparse primitive polynomial of the Galois field, an n-bit multiplier, and
+    an m-bit polynomial to add (XOR) with the product.
+    """
+
+    output_bits: int
+    field_degree: int
+    polynomial_exponents: Tuple[int, ...]
+    multiplier: int
+    addend: int
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "privacy-amplification",
+            {
+                "m": self.output_bits,
+                "degree": self.field_degree,
+                "poly": list(self.polynomial_exponents),
+                "multiplier": self.multiplier,
+                "addend": self.addend,
+            },
+        )
+
+
+@dataclass
+class AuthenticationTagMessage:
+    """A Wegman-Carter tag covering a batch of protocol messages."""
+
+    covered_messages: int
+    tag_bits: List[int]
+
+    def encode(self) -> bytes:
+        return _encode_payload(
+            "auth-tag", {"covered": self.covered_messages, "tag": self.tag_bits}
+        )
+
+    @property
+    def tag(self) -> BitString:
+        return BitString(self.tag_bits)
+
+
+@dataclass
+class PublicChannelLog:
+    """A transcript of everything that crossed the public channel.
+
+    Entropy estimation charges every disclosed parity bit against the key; the
+    log also gives the authentication stage its byte stream and gives tests a
+    way to assert exactly what Eve could have seen.
+    """
+
+    messages: List[object] = field(default_factory=list)
+
+    def record(self, message) -> None:
+        self.messages.append(message)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(m.encode()) for m in self.messages)
+
+    def messages_of_type(self, message_type) -> List[object]:
+        return [m for m in self.messages if isinstance(m, message_type)]
+
+    def transcript_bytes(self) -> bytes:
+        """The concatenated byte encoding of every message, in order."""
+        return b"".join(m.encode() for m in self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)

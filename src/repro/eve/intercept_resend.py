@@ -1,0 +1,117 @@
+"""The intercept-resend attack.
+
+Eve places her own receiver and transmitter in the fiber.  For a chosen
+fraction of the slots she measures the incoming photon in a random basis
+(per the paper's axioms, with perfect detectors and no loss), records the
+result, and resends a fresh pulse prepared in *her* basis and measured value
+towards Bob (again losslessly, indistinguishable from Alice's pulses).
+
+Consequences, which the protocol stack observes:
+
+* When Eve's basis happens to match Alice's (half the time) she learns the
+  bit and resends a faithful copy — no error is induced.
+* When it does not match, her measurement result is random, and the pulse she
+  resends is prepared in the wrong basis; even when Bob then measures in
+  Alice's basis his outcome is random.  Net effect: a 25 % error rate on the
+  intercepted fraction, i.e. ``QBER ~ 0.25 * intercept_fraction`` on top of
+  the link's intrinsic error rate.
+* Eve knows the value she measured for every intercepted slot; after basis
+  reconciliation she keeps the ones where her basis matched (full knowledge)
+  and has partial knowledge elsewhere.  The attack records how many sifted
+  bits she actually knows so experiments can compare her true information
+  with what the defense functions charge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.eve.base import QuantumChannelAttack
+
+
+class InterceptResendAttack(QuantumChannelAttack):
+    """Eve measures and resends a fraction of the pulses."""
+
+    name = "intercept-resend"
+
+    def __init__(self, intercept_fraction: float = 1.0, resend_mean_photons: float = None):
+        if not 0.0 <= intercept_fraction <= 1.0:
+            raise ValueError("intercept fraction must be in [0, 1]")
+        self.intercept_fraction = intercept_fraction
+        #: Eve may resend brighter pulses to make sure Bob sees them; None
+        #: means "resend exactly one photon per intercepted non-empty pulse",
+        #: the least detectable choice.
+        self.resend_mean_photons = resend_mean_photons
+        self.last_record: Dict[str, object] = {}
+
+    def intercept(self, emission, transmittance, rng):
+        photons = emission["photons"]
+        n = photons.shape[0]
+
+        # Eve sits right outside Alice's lab, so she sees the photons before
+        # fiber loss (her equipment is lossless per the threat model).
+        intercepted = (rng.random(n) < self.intercept_fraction) & (photons > 0)
+
+        eve_basis = rng.integers(0, 2, size=n, dtype=np.uint8)
+        # Measurement outcome: if Eve's basis matches Alice's she reads the
+        # true value; otherwise her detector clicks at random.
+        basis_match = eve_basis == emission["basis"]
+        random_bits = rng.integers(0, 2, size=n, dtype=np.uint8)
+        eve_value = np.where(basis_match, emission["value"], random_bits).astype(np.uint8)
+
+        # Pulses Eve did not touch propagate normally through the fiber.
+        untouched_photons = rng.binomial(photons, transmittance)
+
+        # Pulses Eve intercepted are replaced by her own resent pulses, which
+        # she delivers to Bob losslessly (threat-model axiom).
+        if self.resend_mean_photons is None:
+            resent_photons = np.ones(n, dtype=np.int64)
+        else:
+            resent_photons = rng.poisson(self.resend_mean_photons, size=n).astype(np.int64)
+
+        photons_at_receiver = np.where(intercepted, resent_photons, untouched_photons)
+        eve_phase = eve_basis * (math.pi / 2.0) + eve_value * math.pi
+        phase_at_receiver = np.where(intercepted, eve_phase, emission["phase"])
+
+        record = {
+            "attack": self.name,
+            "intercept_fraction": self.intercept_fraction,
+            "slots_intercepted": int(np.count_nonzero(intercepted)),
+            "intercepted_mask": intercepted,
+            "eve_basis": eve_basis,
+            "eve_value": eve_value,
+        }
+        self.last_record = record
+        return {
+            "photons_at_receiver": photons_at_receiver,
+            "phase_at_receiver": phase_at_receiver,
+            "record": record,
+        }
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def expected_induced_error_rate(intercept_fraction: float) -> float:
+        """The textbook 25 % error rate scaled by the intercepted fraction."""
+        return 0.25 * intercept_fraction
+
+    @staticmethod
+    def eve_known_sifted_bits(frame_result) -> int:
+        """Count sifted bits whose value Eve knows with certainty.
+
+        Requires the frame to have been transmitted with this attack attached
+        (the bookkeeping arrays live in ``frame_result.attack_record``).  Eve
+        knows a sifted bit outright when she intercepted the slot and her
+        measurement basis matched Alice's.
+        """
+        record = frame_result.attack_record
+        if not record or "intercepted_mask" not in record:
+            return 0
+        intercepted = record["intercepted_mask"]
+        eve_basis = record["eve_basis"]
+        sifted = frame_result.sifted_mask
+        known = sifted & intercepted & (eve_basis == frame_result.alice_basis)
+        return int(np.count_nonzero(known))

@@ -1,0 +1,102 @@
+"""Man-in-the-middle attacks on the public channel.
+
+Eve "can eavesdrop undetectably on the public channel" and "forge or block
+messages on the public channel" (section 6).  Reading the public channel is
+already accounted for by the disclosed-bits bookkeeping; what this module
+models is active forgery: Eve intercepts the classical protocol traffic and
+substitutes her own, attempting to run the QKD protocols with Alice while
+impersonating Bob (and vice versa).  Wegman-Carter authentication is the
+defense — a forged or altered transcript fails tag verification with
+probability ``1 - 2^-tag_bits``.
+
+:class:`ManInTheMiddleAttack` operates on a :class:`PublicChannelLog`
+transcript: it can tamper with individual messages or replace the whole
+transcript, and reports what it did so tests can assert that authentication
+catches every manipulation.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.messages import (
+    CascadeParityReply,
+    CascadeSubsetAnnouncement,
+    PublicChannelLog,
+    SiftMessage,
+)
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass
+class TamperReport:
+    """What the attack changed, for test assertions."""
+
+    messages_modified: int = 0
+    descriptions: List[str] = field(default_factory=list)
+
+
+class ManInTheMiddleAttack:
+    """Tampers with the classical protocol transcript."""
+
+    name = "man-in-the-middle"
+
+    def __init__(self, rng: Optional[DeterministicRNG] = None):
+        self.rng = rng or DeterministicRNG(0)
+        self.last_report = TamperReport()
+
+    # ------------------------------------------------------------------ #
+
+    def tamper_with_transcript(self, log: PublicChannelLog) -> PublicChannelLog:
+        """Return a tampered copy of the transcript (the original is untouched)."""
+        tampered = PublicChannelLog(messages=[copy.deepcopy(m) for m in log.messages])
+        report = TamperReport()
+
+        for message in tampered.messages:
+            if isinstance(message, CascadeParityReply) and message.parities:
+                index = self.rng.randint(0, len(message.parities) - 1)
+                message.parities[index] ^= 1
+                report.messages_modified += 1
+                report.descriptions.append(
+                    f"flipped cascade parity {index} in round {message.round_index}"
+                )
+                break
+            if isinstance(message, CascadeSubsetAnnouncement) and message.parities:
+                index = self.rng.randint(0, len(message.parities) - 1)
+                message.parities[index] ^= 1
+                report.messages_modified += 1
+                report.descriptions.append(
+                    f"flipped announced parity {index} in round {message.round_index}"
+                )
+                break
+            if isinstance(message, SiftMessage) and message.detected_bases:
+                index = self.rng.randint(0, len(message.detected_bases) - 1)
+                message.detected_bases[index] ^= 1
+                report.messages_modified += 1
+                report.descriptions.append(f"flipped reported basis {index} in sift message")
+                break
+
+        if report.messages_modified == 0 and tampered.messages:
+            # Nothing recognisable to tweak: drop a message instead (blocking
+            # traffic is also within Eve's powers).
+            tampered.messages.pop()
+            report.messages_modified = 1
+            report.descriptions.append("dropped the final protocol message")
+
+        self.last_report = report
+        return tampered
+
+    def impersonation_transcript(self, template: PublicChannelLog) -> PublicChannelLog:
+        """A wholly forged transcript Eve fabricates while impersonating a peer.
+
+        She can copy message *structure* from observed traffic, but without
+        the shared secret she cannot produce valid authentication tags for it.
+        """
+        forged = PublicChannelLog(messages=[copy.deepcopy(m) for m in template.messages])
+        self.last_report = TamperReport(
+            messages_modified=len(forged.messages),
+            descriptions=["replayed transcript under Eve's identity"],
+        )
+        return forged

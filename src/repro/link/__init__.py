@@ -1,0 +1,5 @@
+"""A complete QKD link: quantum channel + protocol engines at both ends."""
+
+from repro.link.qkd_link import QKDLink, LinkParameters, LinkReport
+
+__all__ = ["QKDLink", "LinkParameters", "LinkReport"]

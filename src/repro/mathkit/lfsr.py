@@ -1,0 +1,108 @@
+"""Linear-Feedback Shift Registers.
+
+The BBN Cascade variant (paper section 5) defines its parity subsets as
+"pseudo-random bit strings, from a Linear-Feedback Shift Register (LFSR)" and
+identifies each subset on the wire "by a 32-bit seed for the LFSR".  Both
+sides expand the same seed to the same subset-selection mask, so only the seed
+(not the subset itself) has to cross the public channel.
+
+This module implements a Galois-configuration LFSR over GF(2) plus the helper
+that expands a 32-bit seed into a subset mask over ``n`` key positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.util.bits import BitString
+
+# Taps for a maximal-length 32-bit Galois LFSR (polynomial
+# x^32 + x^22 + x^2 + x + 1), the classic choice for 32-bit registers.
+DEFAULT_TAPS_32 = 0x80200003
+DEFAULT_WIDTH = 32
+
+
+class LFSR:
+    """A Galois LFSR producing a deterministic pseudo-random bit stream."""
+
+    def __init__(self, seed: int, taps: int = DEFAULT_TAPS_32, width: int = DEFAULT_WIDTH):
+        if width <= 0:
+            raise ValueError("register width must be positive")
+        mask = (1 << width) - 1
+        if taps & ~mask:
+            raise ValueError("tap mask wider than the register")
+        self.width = width
+        self.taps = taps
+        self.mask = mask
+        # An all-zero state would be a fixed point; map it to the all-ones
+        # state the way hardware implementations commonly do.
+        self.state = (seed & mask) or mask
+        self.initial_state = self.state
+
+    def step(self) -> int:
+        """Advance one step and return the output bit."""
+        output = self.state & 1
+        self.state >>= 1
+        if output:
+            self.state ^= self.taps >> 1
+            self.state |= 1 << (self.width - 1)
+        self.state &= self.mask
+        return output
+
+    def bits(self, count: int) -> BitString:
+        """Produce the next ``count`` output bits."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return BitString(self.step() for _ in range(count))
+
+    def stream(self) -> Iterator[int]:
+        """An endless iterator of output bits."""
+        while True:
+            yield self.step()
+
+    def reset(self) -> None:
+        """Rewind to the state the register was seeded with."""
+        self.state = self.initial_state
+
+    def period_lower_bound(self, limit: int = 1 << 20) -> int:
+        """Steps until the state first repeats, up to ``limit`` (for tests)."""
+        seen_state = self.state
+        for count in range(1, limit + 1):
+            self.step()
+            if self.state == seen_state:
+                return count
+        return limit
+
+
+def lfsr_subset_mask(seed: int, length: int, density: float = 0.5) -> BitString:
+    """Expand a 32-bit seed into a pseudo-random subset-selection mask.
+
+    ``density`` is the approximate fraction of key positions included in the
+    subset.  The default of one half matches the classic random-subset parity
+    check: each position is included independently with probability 1/2, so a
+    single parity reveals exactly one bit of information about the key.
+
+    Both Alice and Bob call this with the same seed and length, and therefore
+    agree on the subset without ever transmitting it.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    register = LFSR(seed)
+    if density == 0.5:
+        return register.bits(length)
+    # For other densities, use blocks of 8 LFSR bits as a uniform byte and
+    # threshold it; this keeps the expansion deterministic and portable.
+    threshold = int(round(density * 256))
+    bits: List[int] = []
+    for _ in range(length):
+        byte = register.bits(8).to_int()
+        bits.append(1 if byte < threshold else 0)
+    return BitString(bits)
+
+
+def subset_indices_from_seed(seed: int, length: int, density: float = 0.5) -> List[int]:
+    """The indices selected by :func:`lfsr_subset_mask` (convenience for Cascade)."""
+    mask = lfsr_subset_mask(seed, length, density)
+    return [i for i, bit in enumerate(mask) if bit]

@@ -1,0 +1,100 @@
+"""Toeplitz-matrix universal hashing.
+
+Toeplitz hashing is the standard alternative construction of a 2-universal
+hash family used for both privacy amplification and Wegman-Carter style
+authentication.  An ``m x n`` Toeplitz matrix is defined by its first row and
+first column (``m + n - 1`` random bits); multiplying the key vector by the
+matrix over GF(2) compresses ``n`` bits to ``m`` bits.
+
+The DARPA network's own privacy amplification uses the GF(2^n) linear hash of
+:mod:`repro.mathkit.gf2n`; the Toeplitz construction is provided as the second
+member of the family so the benchmark suite can compare the two (and because
+the authentication layer uses it to build short tags).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+class ToeplitzHash:
+    """A hash function drawn from the Toeplitz 2-universal family."""
+
+    def __init__(self, diagonal_bits: BitString, input_bits: int, output_bits: int):
+        expected = input_bits + output_bits - 1
+        if input_bits <= 0 or output_bits <= 0:
+            raise ValueError("input and output lengths must be positive")
+        if len(diagonal_bits) != expected:
+            raise ValueError(
+                f"a {output_bits}x{input_bits} Toeplitz matrix needs {expected} "
+                f"defining bits, got {len(diagonal_bits)}"
+            )
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+        self.diagonal_bits = diagonal_bits
+        # Precompute each row as an integer mask for fast multiply.
+        # Row i of the Toeplitz matrix is diagonal_bits[i : i + input_bits]
+        # reversed relative to the defining sequence convention below.
+        self._row_masks: List[int] = []
+        for row in range(output_bits):
+            mask = 0
+            for column in range(input_bits):
+                # Entry (row, column) = diagonal_bits[row - column + input_bits - 1]
+                bit = diagonal_bits[row - column + input_bits - 1]
+                if bit:
+                    mask |= 1 << column
+            self._row_masks.append(mask)
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def random(
+        cls, input_bits: int, output_bits: int, rng: DeterministicRNG
+    ) -> "ToeplitzHash":
+        """Draw a random member of the family."""
+        diagonal = BitString.random(input_bits + output_bits - 1, rng)
+        return cls(diagonal, input_bits, output_bits)
+
+    @classmethod
+    def from_seed_bits(
+        cls, seed_bits: BitString, input_bits: int, output_bits: int
+    ) -> "ToeplitzHash":
+        """Build the hash from explicit seed bits (e.g. shared secret key bits)."""
+        return cls(seed_bits, input_bits, output_bits)
+
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, key: BitString) -> BitString:
+        return self.hash(key)
+
+    def hash(self, key: BitString) -> BitString:
+        """Compress the key from ``input_bits`` to ``output_bits`` bits."""
+        if len(key) != self.input_bits:
+            raise ValueError(
+                f"expected a {self.input_bits}-bit input, got {len(key)} bits"
+            )
+        packed = 0
+        for column, bit in enumerate(key):
+            if bit:
+                packed |= 1 << column
+        output = []
+        for mask in self._row_masks:
+            output.append(bin(mask & packed).count("1") & 1)
+        return BitString(output)
+
+    def matrix_rows(self) -> List[BitString]:
+        """The rows of the Toeplitz matrix (mainly for tests and inspection)."""
+        rows = []
+        for mask in self._row_masks:
+            rows.append(BitString(((mask >> c) & 1) for c in range(self.input_bits)))
+        return rows
+
+    def seed_length(self) -> int:
+        """Number of random bits that define this hash."""
+        return self.input_bits + self.output_bits - 1
+
+    def __repr__(self) -> str:
+        return f"ToeplitzHash({self.input_bits} -> {self.output_bits} bits)"

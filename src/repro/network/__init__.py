@@ -1,0 +1,38 @@
+"""QKD networks: meshes of links, trusted relays and untrusted switches.
+
+Point-to-point QKD links have the weaknesses catalogued in section 2 of the
+paper — fragility, limited reach, poor scaling of pairwise interconnection —
+and sections 3 and 8 describe the DARPA Quantum Network's answer: weave
+multiple links into a network.
+
+* :mod:`repro.network.topology` — the network graph (endpoints, relays,
+  switches, links with loss budgets and per-link key rates) and the
+  interconnection-cost analysis (N·(N-1)/2 point-to-point links versus N
+  links through a key-distribution network).
+* :mod:`repro.network.relay` — trusted-relay key transport: pairwise QKD keys
+  along a path, with the end-to-end key one-time-pad wrapped hop by hop.
+* :mod:`repro.network.switches` — untrusted all-optical switch paths: no
+  trust in intermediate nodes, but every switch spends insertion loss and the
+  photon must survive the whole composite path.
+* :mod:`repro.network.routing` — path selection and rerouting around failed
+  or eavesdropped links.
+"""
+
+from repro.network.topology import QKDNetwork, QKDNode, QKDLinkEdge, NodeKind, interconnection_cost
+from repro.network.relay import TrustedRelayNetwork, KeyTransportResult
+from repro.network.switches import UntrustedSwitchNetwork, SwitchedPathReport
+from repro.network.routing import PathSelector, RoutingError
+
+__all__ = [
+    "QKDNetwork",
+    "QKDNode",
+    "QKDLinkEdge",
+    "NodeKind",
+    "interconnection_cost",
+    "TrustedRelayNetwork",
+    "KeyTransportResult",
+    "UntrustedSwitchNetwork",
+    "SwitchedPathReport",
+    "PathSelector",
+    "RoutingError",
+]

@@ -1,0 +1,221 @@
+"""Trusted-relay key transport (the "key transport network" of section 8).
+
+"After relays have established pairwise agreed-to keys along an end-to-end
+point ... they may employ these key pairs to securely transport a key 'hop by
+hop' from one endpoint to the other, being onetime-pad encrypted and decrypted
+with each pairwise key as it proceeds from one relay to the next.  In this
+approach, the end-to-end key will appear in the clear within the relays'
+memories proper, but will always be encrypted when passing across a link."
+
+The model keeps a per-link pairwise key pool (filled at the link's estimated
+secret-key rate) and transports end-to-end keys along routed paths, consuming
+pad from every hop and recording which relays held the key in the clear — the
+trust exposure the paper identifies as the architecture's prime weakness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.otp import OneTimePad, PadExhaustedError
+from repro.network.routing import PathSelector, RoutingError
+from repro.network.topology import NodeKind, QKDNetwork
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass
+class KeyTransportResult:
+    """Outcome of transporting one end-to-end key across the relay mesh."""
+
+    success: bool
+    path: List[str] = field(default_factory=list)
+    key: Optional[BitString] = None
+    #: Relays that held the key in the clear (the trust exposure).
+    relays_exposed: List[str] = field(default_factory=list)
+    #: Pairwise key bits consumed per hop.
+    pad_bits_consumed: int = 0
+    failure_reason: str = ""
+    rerouted: bool = False
+    #: The hop (node pair) whose pairwise key ran out, when that was the cause.
+    failed_hop: Optional[Tuple[str, str]] = None
+
+
+class TrustedRelayNetwork:
+    """Key transport over a mesh of trusted relays."""
+
+    def __init__(
+        self,
+        network: QKDNetwork,
+        rng: Optional[DeterministicRNG] = None,
+        metric: str = "hops",
+    ):
+        self.network = network
+        self.rng = rng or DeterministicRNG(0)
+        self.selector = PathSelector(network, metric=metric)
+        #: Pairwise one-time-pad pools per link, keyed by a sorted node pair.
+        self.pairwise_pads: Dict[Tuple[str, str], OneTimePad] = {}
+        self.transports: List[KeyTransportResult] = []
+        for edge in network.links():
+            self.pairwise_pads[self._pad_key(edge.node_a, edge.node_b)] = OneTimePad()
+
+    # ------------------------------------------------------------------ #
+    # Pairwise key replenishment
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _pad_key(node_a: str, node_b: str) -> Tuple[str, str]:
+        return tuple(sorted((node_a, node_b)))
+
+    def pad_for(self, node_a: str, node_b: str) -> OneTimePad:
+        return self.pairwise_pads[self._pad_key(node_a, node_b)]
+
+    def run_links_for(self, seconds: float) -> None:
+        """Let every usable link distill pairwise key for ``seconds`` seconds.
+
+        The amount added per link is its analytic secret-key rate times the
+        duration — the steady-state behaviour of each link's protocol engine
+        without Monte-Carlo cost, which is what the network-scale experiments
+        need.
+        """
+        if seconds < 0:
+            raise ValueError("duration must be non-negative")
+        for edge in self.network.links():
+            if not edge.usable:
+                continue
+            new_bits = int(edge.secret_key_rate_bps * seconds)
+            new_bytes = new_bits // 8
+            if new_bytes <= 0:
+                continue
+            material = bytes(
+                self.rng.getrandbits(8) for _ in range(new_bytes)
+            )
+            self.pad_for(edge.node_a, edge.node_b).add_key_material(material)
+
+    def pairwise_key_available_bits(self, node_a: str, node_b: str) -> int:
+        return self.pad_for(node_a, node_b).available_bytes * 8
+
+    # ------------------------------------------------------------------ #
+    # End-to-end key transport
+    # ------------------------------------------------------------------ #
+
+    def transport_key(
+        self,
+        source: str,
+        destination: str,
+        key_bits: int = 256,
+    ) -> KeyTransportResult:
+        """Deliver a fresh end-to-end key from ``source`` to ``destination``.
+
+        The key is generated at the source, then one-time-pad wrapped across
+        each hop in turn; every intermediate relay decrypts and re-encrypts
+        it, so it appears in the relay's memory in the clear.  Any hop whose
+        pairwise pool cannot cover the key aborts the transport.
+        """
+        if key_bits <= 0 or key_bits % 8:
+            raise ValueError("key length must be a positive multiple of 8 bits")
+        try:
+            path = self.selector.find_path(source, destination)
+        except RoutingError as exc:
+            result = KeyTransportResult(success=False, failure_reason=str(exc))
+            self.transports.append(result)
+            return result
+
+        key = BitString.random(key_bits, self.rng)
+        key_bytes = key.to_bytes()
+        pad_consumed = 0
+        relays_exposed: List[str] = []
+
+        # Walk the path hop by hop: encrypt onto the wire with the hop's
+        # pairwise pad, decrypt at the far end of the hop.
+        in_flight = key_bytes
+        for hop_index, (node_a, node_b) in enumerate(zip(path, path[1:])):
+            pad = self.pad_for(node_a, node_b)
+            if pad.available_bytes < len(in_flight):
+                result = KeyTransportResult(
+                    success=False,
+                    path=path,
+                    failure_reason=(
+                        f"pairwise key exhausted on hop {node_a}--{node_b} "
+                        f"({pad.available_bytes} bytes available)"
+                    ),
+                    pad_bits_consumed=pad_consumed,
+                    relays_exposed=relays_exposed,
+                    failed_hop=(node_a, node_b),
+                )
+                self.transports.append(result)
+                return result
+            # Both ends of a link hold identical pairwise pools; the model
+            # keeps a single pool per link, so the receiving node's decryption
+            # uses the same pad bytes the sender consumed.
+            hop_pad_bytes = pad.peek(len(in_flight))
+            ciphertext = pad.encrypt(in_flight)
+            pad_consumed += len(in_flight) * 8
+            arriving_node = node_b
+            in_flight = bytes(c ^ p for c, p in zip(ciphertext, hop_pad_bytes))
+            node = self.network.node(arriving_node)
+            if node.kind is NodeKind.TRUSTED_RELAY:
+                relays_exposed.append(arriving_node)
+
+        result = KeyTransportResult(
+            success=True,
+            path=path,
+            key=key,
+            relays_exposed=relays_exposed,
+            pad_bits_consumed=pad_consumed,
+        )
+        self.transports.append(result)
+        return result
+
+    def transport_with_reroute(
+        self, source: str, destination: str, key_bits: int = 256
+    ) -> KeyTransportResult:
+        """Transport a key, falling back to alternative paths on failure.
+
+        This is the resilience property the mesh buys: if the preferred path
+        fails (cut link, eavesdropping, exhausted pairwise key), the transport
+        is retried over whatever usable capacity remains.
+        """
+        first = self.transport_key(source, destination, key_bits)
+        if first.success:
+            return first
+
+        # Temporarily exclude hops whose pairwise key is exhausted and retry
+        # over whatever capacity remains; restore the exclusions afterwards
+        # (an exhausted hop is not broken, it is merely out of key for now).
+        excluded: List[Tuple[str, str]] = []
+        last = first
+        try:
+            while last.failed_hop is not None:
+                node_a, node_b = last.failed_hop
+                link = self.network.link(node_a, node_b)
+                if not link.operational:
+                    break
+                link.operational = False
+                excluded.append((node_a, node_b))
+                retry = self.transport_key(source, destination, key_bits)
+                if retry.success:
+                    retry.rerouted = True
+                    return retry
+                last = retry
+        finally:
+            for node_a, node_b in excluded:
+                self.network.link(node_a, node_b).operational = True
+
+        last.failure_reason += " (no usable alternative path)"
+        return last
+
+    # ------------------------------------------------------------------ #
+
+    def delivery_availability(
+        self, source: str, destination: str, trials: int, key_bits: int = 256
+    ) -> float:
+        """Fraction of ``trials`` transports that succeed (used by E8)."""
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        successes = 0
+        for _ in range(trials):
+            if self.transport_key(source, destination, key_bits).success:
+                successes += 1
+        return successes / trials

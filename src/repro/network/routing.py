@@ -1,0 +1,99 @@
+"""Path selection and rerouting across the QKD mesh.
+
+"When a given point-to-point QKD link within the relay mesh fails — e.g. by
+fiber cut or too much eavesdropping or noise — that link is abandoned and
+another used instead" (paper section 8).  The :class:`PathSelector` picks
+paths over the usable subgraph; the metric can be hop count (fewest trusted
+relays exposed to the key), total fiber length, or inverse key rate (the
+bottleneck-avoiding choice for sustained key transport).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.network.topology import QKDNetwork
+
+
+class RoutingError(Exception):
+    """Raised when no usable path exists between two nodes."""
+
+
+class PathSelector:
+    """Chooses end-to-end paths across the usable part of the network."""
+
+    METRICS = ("hops", "length", "inverse-rate")
+
+    def __init__(self, network: QKDNetwork, metric: str = "hops"):
+        if metric not in self.METRICS:
+            raise ValueError(f"metric must be one of {self.METRICS}")
+        self.network = network
+        self.metric = metric
+
+    # ------------------------------------------------------------------ #
+
+    def _edge_weight(self, node_a: str, node_b: str, data) -> float:
+        link = data["link"]
+        if self.metric == "hops":
+            return 1.0
+        if self.metric == "length":
+            return link.length_km
+        # inverse-rate: prefer links with plenty of key; guard against zero.
+        return 1.0 / max(link.secret_key_rate_bps, 1e-6)
+
+    def find_path(self, source: str, destination: str) -> List[str]:
+        """The best usable path, as a list of node names (inclusive of ends).
+
+        Raises :class:`RoutingError` if the usable subgraph does not connect
+        the two nodes — the situation a point-to-point deployment is always
+        one fiber cut away from, and a mesh is designed to avoid.
+        """
+        usable = self.network.usable_subgraph()
+        if source not in usable or destination not in usable:
+            raise RoutingError(f"unknown node in ({source!r}, {destination!r})")
+        try:
+            return nx.shortest_path(
+                usable, source, destination, weight=self._edge_weight
+            )
+        except nx.NetworkXNoPath as exc:
+            raise RoutingError(
+                f"no usable QKD path from {source!r} to {destination!r}"
+            ) from exc
+
+    def path_exists(self, source: str, destination: str) -> bool:
+        try:
+            self.find_path(source, destination)
+            return True
+        except RoutingError:
+            return False
+
+    def disjoint_paths(self, source: str, destination: str) -> List[List[str]]:
+        """Edge-disjoint usable paths (a measure of the mesh's redundancy)."""
+        usable = self.network.usable_subgraph()
+        if source not in usable or destination not in usable:
+            raise RoutingError(f"unknown node in ({source!r}, {destination!r})")
+        try:
+            return [list(p) for p in nx.edge_disjoint_paths(usable, source, destination)]
+        except nx.NetworkXNoPath:
+            return []
+
+    def path_length_km(self, path: List[str]) -> float:
+        """Total fiber length along a path."""
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += self.network.link(a, b).length_km
+        return total
+
+    def bottleneck_rate_bps(self, path: List[str]) -> float:
+        """The lowest per-link key rate along the path (the transport bottleneck)."""
+        if len(path) < 2:
+            return 0.0
+        return min(
+            self.network.link(a, b).secret_key_rate_bps for a, b in zip(path, path[1:])
+        )
+
+    def relays_on_path(self, path: List[str]) -> List[str]:
+        """The intermediate nodes that must be trusted with the key."""
+        return [name for name in path[1:-1]]

@@ -1,0 +1,233 @@
+"""The QKD network graph and interconnection-cost analysis.
+
+Nodes are QKD endpoints, trusted relays or untrusted optical switches; edges
+are QKD links (or dark-fiber segments, for the optical-switch case)
+characterised by their length and by the secret-key rate the analytic link
+model predicts for them.  The graph is a thin wrapper around ``networkx`` so
+the routing layer can use its path algorithms directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.link.qkd_link import LinkParameters, QKDLink
+from repro.util.rng import DeterministicRNG
+
+
+class NodeKind(enum.Enum):
+    """Roles a node can play in the DARPA Quantum Network architecture."""
+
+    ENDPOINT = "endpoint"
+    TRUSTED_RELAY = "trusted-relay"
+    UNTRUSTED_SWITCH = "untrusted-switch"
+
+
+@dataclass
+class QKDNode:
+    """One node of the network."""
+
+    name: str
+    kind: NodeKind = NodeKind.ENDPOINT
+    #: Whether the node is physically secured (relevant to trusted relays).
+    physically_secured: bool = True
+
+
+@dataclass
+class QKDLinkEdge:
+    """One QKD link (or fiber segment) between two adjacent nodes."""
+
+    node_a: str
+    node_b: str
+    length_km: float = 10.0
+    #: Operational state: a cut fiber or a link shut down due to eavesdropping.
+    operational: bool = True
+    #: Flagged when the protocol stack on this link has detected eavesdropping
+    #: (QBER above threshold); the routing layer then avoids it.
+    eavesdropping_detected: bool = False
+    #: Cached secret-key rate for the link, bits/second (analytic model).
+    secret_key_rate_bps: float = 0.0
+
+    @property
+    def usable(self) -> bool:
+        return self.operational and not self.eavesdropping_detected
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.node_a, self.node_b)
+
+
+class QKDNetwork:
+    """A mesh of QKD nodes and links."""
+
+    def __init__(self, rng: Optional[DeterministicRNG] = None):
+        self.graph = nx.Graph()
+        self.rng = rng or DeterministicRNG(0)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: QKDNode) -> None:
+        if node.name in self.graph:
+            raise ValueError(f"node {node.name!r} already exists")
+        self.graph.add_node(node.name, node=node)
+
+    def add_endpoint(self, name: str) -> QKDNode:
+        node = QKDNode(name, NodeKind.ENDPOINT)
+        self.add_node(node)
+        return node
+
+    def add_relay(self, name: str, physically_secured: bool = True) -> QKDNode:
+        node = QKDNode(name, NodeKind.TRUSTED_RELAY, physically_secured)
+        self.add_node(node)
+        return node
+
+    def add_switch(self, name: str) -> QKDNode:
+        node = QKDNode(name, NodeKind.UNTRUSTED_SWITCH)
+        self.add_node(node)
+        return node
+
+    def add_link(self, node_a: str, node_b: str, length_km: float = 10.0) -> QKDLinkEdge:
+        for name in (node_a, node_b):
+            if name not in self.graph:
+                raise KeyError(f"unknown node {name!r}")
+        edge = QKDLinkEdge(node_a=node_a, node_b=node_b, length_km=length_km)
+        edge.secret_key_rate_bps = self.estimate_link_rate(length_km)
+        self.graph.add_edge(node_a, node_b, link=edge)
+        return edge
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def node(self, name: str) -> QKDNode:
+        return self.graph.nodes[name]["node"]
+
+    def link(self, node_a: str, node_b: str) -> QKDLinkEdge:
+        return self.graph.edges[node_a, node_b]["link"]
+
+    def nodes(self) -> List[QKDNode]:
+        return [self.graph.nodes[name]["node"] for name in self.graph.nodes]
+
+    def links(self) -> List[QKDLinkEdge]:
+        return [data["link"] for _, _, data in self.graph.edges(data=True)]
+
+    def endpoints(self) -> List[str]:
+        return [n.name for n in self.nodes() if n.kind is NodeKind.ENDPOINT]
+
+    def usable_subgraph(self) -> nx.Graph:
+        """A copy of the graph containing only usable (up, clean) links."""
+        usable = nx.Graph()
+        usable.add_nodes_from(self.graph.nodes(data=True))
+        for a, b, data in self.graph.edges(data=True):
+            if data["link"].usable:
+                usable.add_edge(a, b, **data)
+        return usable
+
+    # ------------------------------------------------------------------ #
+    # Failure / attack injection
+    # ------------------------------------------------------------------ #
+
+    def cut_link(self, node_a: str, node_b: str) -> None:
+        """Take a link down (fiber cut or equipment failure)."""
+        self.link(node_a, node_b).operational = False
+
+    def restore_link(self, node_a: str, node_b: str) -> None:
+        self.link(node_a, node_b).operational = True
+        self.link(node_a, node_b).eavesdropping_detected = False
+
+    def mark_eavesdropped(self, node_a: str, node_b: str) -> None:
+        """Record that this link's QKD protocols detected eavesdropping."""
+        self.link(node_a, node_b).eavesdropping_detected = True
+
+    def fail_random_links(self, count: int) -> List[QKDLinkEdge]:
+        """Cut ``count`` distinct randomly chosen operational links."""
+        candidates = [edge for edge in self.links() if edge.operational]
+        count = min(count, len(candidates))
+        chosen = self.rng.sample(candidates, count)
+        for edge in chosen:
+            edge.operational = False
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # Rates
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def estimate_link_rate(length_km: float) -> float:
+        """Secret-key rate of a point-to-point link of the given length."""
+        link = QKDLink(LinkParameters.for_distance(length_km), DeterministicRNG(0))
+        return link.estimated_secret_key_rate()
+
+    # ------------------------------------------------------------------ #
+    # Standard topologies used by the benchmarks
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def point_to_point(cls, length_km: float = 10.0) -> "QKDNetwork":
+        net = cls()
+        net.add_endpoint("alice")
+        net.add_endpoint("bob")
+        net.add_link("alice", "bob", length_km)
+        return net
+
+    @classmethod
+    def relay_mesh(
+        cls,
+        n_endpoints: int = 4,
+        n_relays: int = 4,
+        link_length_km: float = 10.0,
+        extra_cross_links: int = 2,
+        rng: Optional[DeterministicRNG] = None,
+    ) -> "QKDNetwork":
+        """A metro-style mesh: a ring of relays with endpoints hanging off it.
+
+        This is the shape the paper sketches for the DARPA Quantum Network:
+        BBN, Harvard and BU endpoints joined through a small mesh of relays,
+        with enough redundancy that any single link can be lost.
+        """
+        net = cls(rng)
+        relays = [f"relay-{i}" for i in range(n_relays)]
+        for name in relays:
+            net.add_relay(name)
+        for i, name in enumerate(relays):
+            net.add_link(name, relays[(i + 1) % n_relays], link_length_km)
+        endpoints = [f"endpoint-{i}" for i in range(n_endpoints)]
+        for i, name in enumerate(endpoints):
+            net.add_endpoint(name)
+            net.add_link(name, relays[i % n_relays], link_length_km)
+        # A few chords across the relay ring for redundancy.
+        added = 0
+        for i in range(n_relays):
+            for j in range(i + 2, n_relays):
+                if added >= extra_cross_links:
+                    break
+                if not net.graph.has_edge(relays[i], relays[j]) and (j - i) != n_relays - 1:
+                    net.add_link(relays[i], relays[j], link_length_km)
+                    added += 1
+        return net
+
+    def __repr__(self) -> str:
+        return (
+            f"QKDNetwork({self.graph.number_of_nodes()} nodes, "
+            f"{self.graph.number_of_edges()} links)"
+        )
+
+
+def interconnection_cost(n_enclaves: int) -> Dict[str, int]:
+    """Links required to fully interconnect N private enclaves (section 8).
+
+    "QKD networks can greatly reduce the cost of large-scale interconnectivity
+    of private enclaves by reducing the required (N x N-1) / 2 point-to-point
+    links to as few as N links in the case of a simple star topology."
+    """
+    if n_enclaves < 0:
+        raise ValueError("the number of enclaves must be non-negative")
+    return {
+        "pairwise_links": n_enclaves * (n_enclaves - 1) // 2,
+        "star_links": n_enclaves,
+    }

@@ -1,0 +1,48 @@
+"""The physical layer of the weak-coherent QKD link (paper section 4).
+
+The real system modulates the phase of very dim 1550 nm laser pulses with
+unbalanced Mach-Zehnder interferometers, sends them over 10 km of telecom
+fiber together with 1300 nm bright framing pulses, and detects them with
+gated, thermo-electrically cooled APDs.  What the QKD protocol stack sees from
+all of that hardware is a stream of *per-slot click records*: for each
+transmitted slot, whether a detector fired, which one, and (on Alice's side)
+which basis and value she modulated.
+
+This package reproduces those statistics:
+
+* :mod:`repro.optics.source` — weak-coherent pulse source (Poissonian photon
+  number, random BB84 basis/value phase modulation) and the SPDC
+  entangled-pair source planned for the network's second link.
+* :mod:`repro.optics.fiber` — fiber spans and optical path loss budgets.
+* :mod:`repro.optics.interferometer` — the phase-encoding/decoding
+  Mach-Zehnder pair, including fringe visibility (interferometer alignment).
+* :mod:`repro.optics.detector` — gated APDs with quantum efficiency, dark
+  counts, afterpulsing and dead time.
+* :mod:`repro.optics.timing` — bright-pulse framing/annunciation.
+* :mod:`repro.optics.channel` — the assembled quantum channel that turns a
+  number of trigger pulses into Alice and Bob's raw Qframe records, with a
+  hook for eavesdropping attacks.
+"""
+
+from repro.optics.source import WeakCoherentSource, SourceParameters
+from repro.optics.entangled import EntangledPairSource
+from repro.optics.fiber import FiberSpan, OpticalPath
+from repro.optics.interferometer import MachZehnderPair
+from repro.optics.detector import GatedAPDPair, DetectorParameters
+from repro.optics.timing import BrightPulseFraming
+from repro.optics.channel import QuantumChannel, FrameResult, ChannelParameters
+
+__all__ = [
+    "WeakCoherentSource",
+    "SourceParameters",
+    "EntangledPairSource",
+    "FiberSpan",
+    "OpticalPath",
+    "MachZehnderPair",
+    "GatedAPDPair",
+    "DetectorParameters",
+    "BrightPulseFraming",
+    "QuantumChannel",
+    "FrameResult",
+    "ChannelParameters",
+]

@@ -1,0 +1,348 @@
+"""The assembled quantum channel: Alice's optics -> fiber -> Bob's optics.
+
+This module glues the source, fiber path, interferometer pair, detectors and
+framing into a single object, :class:`QuantumChannel`, that turns a number of
+trigger slots into the raw per-slot records both endpoints hold before any
+protocol processing:
+
+* Alice's record of each slot — which basis and value she modulated, and how
+  many photons the attenuated laser actually emitted;
+* Bob's record of each slot — whether his gated detectors clicked, which one,
+  and which basis he had selected.
+
+These records are exactly the "Raw Qframes (Symbols)" at the bottom of the
+paper's protocol stack (Fig 9); the sifting stage consumes them next.
+
+The channel also exposes the analytic rate model (expected click probability,
+QBER, sifted rate) used by the benchmarks for parameter sweeps that would be
+too slow to Monte-Carlo at every point, and an attack hook through which the
+eavesdropping models in :mod:`repro.eve` can interpose themselves on the
+photonic path, as Eve does in the paper's threat model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.optics.detector import DetectorParameters, GatedAPDPair
+from repro.optics.entangled import EntangledPairSource, EntangledSourceParameters
+from repro.optics.fiber import OpticalPath
+from repro.optics.interferometer import InterferometerParameters, MachZehnderPair
+from repro.optics.source import SourceParameters, WeakCoherentSource
+from repro.optics.timing import BrightPulseFraming, FramingParameters
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass
+class ChannelParameters:
+    """Everything needed to describe one weak-coherent QKD link.
+
+    The defaults reproduce the paper's first link: mean photon number 0.1 at a
+    1 MHz pulse rate through 10 km of telecom fiber, detectors cooled to
+    -30 C, overall QBER in the 6-8 % band.
+    """
+
+    source: SourceParameters = field(default_factory=SourceParameters)
+    path: OpticalPath = field(default_factory=lambda: OpticalPath.single_span(10.0))
+    interferometer: InterferometerParameters = field(
+        default_factory=InterferometerParameters
+    )
+    detectors: DetectorParameters = field(default_factory=DetectorParameters)
+    framing: FramingParameters = field(default_factory=FramingParameters)
+    #: When set, the link uses the SPDC entangled-pair source planned for the
+    #: network's second link instead of the attenuated laser.  Only the slots
+    #: whose idler photon was heralded carry a usable signal photon; the
+    #: weak-coherent ``source`` field is ignored apart from its pulse rate.
+    entangled_source: Optional[EntangledSourceParameters] = None
+
+    @classmethod
+    def paper_operating_point(cls) -> "ChannelParameters":
+        """The link exactly as §4 of the paper describes it."""
+        return cls()
+
+    @classmethod
+    def for_distance(cls, length_km: float, **overrides) -> "ChannelParameters":
+        """The paper's link with the fiber spool replaced by ``length_km`` of fiber."""
+        params = cls(path=OpticalPath.single_span(length_km))
+        for key, value in overrides.items():
+            setattr(params, key, value)
+        return params
+
+    @classmethod
+    def entangled_link(
+        cls, length_km: float = 10.0, source: EntangledSourceParameters = None
+    ) -> "ChannelParameters":
+        """The planned second link: an SPDC entangled-pair source over fiber."""
+        return cls(
+            path=OpticalPath.single_span(length_km),
+            entangled_source=source or EntangledSourceParameters(),
+        )
+
+    @property
+    def is_entangled(self) -> bool:
+        return self.entangled_source is not None
+
+    @property
+    def pulse_rate_hz(self) -> float:
+        """Trigger rate of whichever source is in use."""
+        if self.entangled_source is not None:
+            return self.entangled_source.pulse_rate_hz
+        return self.source.pulse_rate_hz
+
+    @property
+    def effective_mean_photon_number(self) -> float:
+        """The mean signal-photon number per slot, whichever source is in use."""
+        if self.entangled_source is not None:
+            return self.entangled_source.mean_pairs_per_pulse
+        return self.source.mean_photon_number
+
+
+class FrameResult:
+    """The outcome of transmitting a batch of trigger slots.
+
+    All per-slot data are parallel numpy arrays of length ``n_slots``.  The
+    object also carries the summary statistics the entropy-estimation stage
+    needs (total transmitted, multi-photon count) and, if an attack was
+    active, the attack's own bookkeeping.
+    """
+
+    def __init__(
+        self,
+        alice_basis: np.ndarray,
+        alice_value: np.ndarray,
+        alice_photons: np.ndarray,
+        bob_basis: np.ndarray,
+        bob_click: np.ndarray,
+        bob_double: np.ndarray,
+        bob_value: np.ndarray,
+        frame_numbers: np.ndarray,
+        attack_record: Optional[dict] = None,
+    ):
+        self.alice_basis = alice_basis
+        self.alice_value = alice_value
+        self.alice_photons = alice_photons
+        self.bob_basis = bob_basis
+        self.bob_click = bob_click
+        self.bob_double = bob_double
+        self.bob_value = bob_value
+        self.frame_numbers = frame_numbers
+        self.attack_record = attack_record or {}
+
+    # ------------------------------------------------------------------ #
+    # Summary statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_slots(self) -> int:
+        """Number of trigger slots transmitted (the paper's ``n``)."""
+        return int(self.alice_basis.shape[0])
+
+    @property
+    def n_multi_photon(self) -> int:
+        """Slots in which Alice's source emitted two or more photons."""
+        return int(np.count_nonzero(self.alice_photons >= 2))
+
+    @property
+    def usable_clicks(self) -> np.ndarray:
+        """Boolean mask of slots with exactly one detector firing."""
+        return self.bob_click & ~self.bob_double
+
+    @property
+    def sifted_mask(self) -> np.ndarray:
+        """Slots that survive sifting: a usable click and matching bases."""
+        return self.usable_clicks & (self.alice_basis == self.bob_basis)
+
+    @property
+    def n_detected(self) -> int:
+        """Number of usable clicks at Bob."""
+        return int(np.count_nonzero(self.usable_clicks))
+
+    @property
+    def n_sifted(self) -> int:
+        """Number of sifted bits (the paper's ``b``)."""
+        return int(np.count_nonzero(self.sifted_mask))
+
+    @property
+    def n_sifted_errors(self) -> int:
+        """Number of error bits among the sifted bits (the paper's ``e``)."""
+        mask = self.sifted_mask
+        return int(np.count_nonzero(self.alice_value[mask] != self.bob_value[mask]))
+
+    @property
+    def qber(self) -> float:
+        """Empirical quantum bit error rate over the sifted bits."""
+        sifted = self.n_sifted
+        if sifted == 0:
+            return 0.0
+        return self.n_sifted_errors / sifted
+
+    def sifted_indices(self) -> np.ndarray:
+        """Slot indices (into this batch) of the sifted positions."""
+        return np.nonzero(self.sifted_mask)[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameResult(slots={self.n_slots}, detected={self.n_detected}, "
+            f"sifted={self.n_sifted}, qber={self.qber:.3f})"
+        )
+
+
+class QuantumChannel:
+    """One weak-coherent QKD link from Alice's laser to Bob's detectors."""
+
+    def __init__(
+        self,
+        parameters: ChannelParameters = None,
+        rng: DeterministicRNG = None,
+    ):
+        self.parameters = parameters or ChannelParameters()
+        self.rng = rng or DeterministicRNG(0)
+        self._numpy_rng = np.random.default_rng(self.rng.getrandbits(64))
+        if self.parameters.is_entangled:
+            self.source = EntangledPairSource(
+                self.parameters.entangled_source, self.rng.fork("source")
+            )
+        else:
+            self.source = WeakCoherentSource(self.parameters.source, self.rng.fork("source"))
+        self.interferometer = MachZehnderPair(self.parameters.interferometer)
+        self.detectors = GatedAPDPair(self.parameters.detectors)
+        self.framing = BrightPulseFraming(self.parameters.framing, self.rng.fork("framing"))
+        self.slots_transmitted = 0
+
+    # ------------------------------------------------------------------ #
+    # Monte-Carlo transmission
+    # ------------------------------------------------------------------ #
+
+    def transmit(self, n_slots: int, attack=None) -> FrameResult:
+        """Transmit ``n_slots`` trigger slots and return both ends' records.
+
+        ``attack`` may be any object implementing the
+        :class:`repro.eve.base.QuantumChannelAttack` interface; when given, it
+        is allowed to act on the photons in flight exactly as the paper's Eve
+        can (measure them, block them, resend substitutes), and its
+        bookkeeping is attached to the result as ``attack_record``.
+        """
+        if n_slots < 0:
+            raise ValueError("slot count must be non-negative")
+        rng = self._numpy_rng
+        emission = self.source.emit(n_slots)
+        transmittance = self.parameters.path.transmittance
+
+        if self.parameters.is_entangled:
+            # Only heralded slots carry a signal photon Alice has a record of;
+            # unheralded signal photons are discarded at the source (they would
+            # otherwise produce clicks Alice can never reconcile).
+            emission = dict(emission)
+            emission["photons"] = np.where(emission["heralded"], emission["photons"], 0)
+
+        if attack is not None:
+            interception = attack.intercept(emission, transmittance, rng)
+            photons_at_receiver = interception["photons_at_receiver"]
+            phase_at_receiver = interception["phase_at_receiver"]
+            attack_record = interception.get("record", {})
+        else:
+            photons_at_receiver = rng.binomial(emission["photons"], transmittance)
+            phase_at_receiver = emission["phase"]
+            attack_record = {}
+
+        bob_basis = rng.integers(0, 2, size=n_slots, dtype=np.uint8)
+        signal_detector = self.interferometer.sample_detector_hits(
+            phase_at_receiver, bob_basis, rng
+        )
+
+        # Gate misalignment shaves a fraction off the photons that can be seen.
+        efficiency_factor = self.framing.efficiency_factor
+        if efficiency_factor < 1.0:
+            photons_at_receiver = rng.binomial(photons_at_receiver, efficiency_factor)
+
+        clicks = self.detectors.sample_clicks(photons_at_receiver, signal_detector, rng)
+
+        frame_numbers, _slot_in_frame, frame_received = self.framing.allocate_frames(
+            n_slots
+        )
+        click = clicks["click"] & frame_received
+        double = clicks["double"] & frame_received
+
+        self.slots_transmitted += n_slots
+        return FrameResult(
+            alice_basis=emission["basis"],
+            alice_value=emission["value"],
+            alice_photons=emission["photons"],
+            bob_basis=bob_basis,
+            bob_click=click,
+            bob_double=double,
+            bob_value=clicks["value"],
+            frame_numbers=frame_numbers,
+            attack_record=attack_record,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Analytic rate model
+    # ------------------------------------------------------------------ #
+
+    def signal_click_probability(self) -> float:
+        """Probability per slot of a click caused by Alice's photons."""
+        p = self.parameters
+        mean_emitted = p.effective_mean_photon_number
+        if p.is_entangled:
+            mean_emitted *= p.entangled_source.heralding_efficiency
+        mean_at_receiver = (
+            mean_emitted * p.path.transmittance * self.framing.efficiency_factor
+        )
+        return self.detectors.signal_detection_probability(mean_at_receiver)
+
+    def dark_click_probability(self) -> float:
+        """Probability per slot of a click caused by dark counts alone."""
+        return self.detectors.dark_click_probability()
+
+    def click_probability(self) -> float:
+        """Probability per slot that Bob registers any click."""
+        p_signal = self.signal_click_probability()
+        p_dark = self.dark_click_probability()
+        return 1.0 - (1.0 - p_signal) * (1.0 - p_dark)
+
+    def expected_qber(self) -> float:
+        """Expected QBER from interferometer visibility and dark counts.
+
+        Signal clicks land on the wrong detector with the interferometer's
+        intrinsic error rate; dark clicks are uncorrelated with Alice's bit
+        and are wrong half the time.  The expected QBER is the click-weighted
+        mixture of the two.
+        """
+        p_signal = self.signal_click_probability()
+        p_dark = self.dark_click_probability()
+        p_any = self.click_probability()
+        if p_any == 0:
+            return 0.0
+        e_optical = self.interferometer.parameters.intrinsic_error_rate
+        # Weight by the contribution of each click type to the total.
+        signal_weight = p_signal / p_any
+        dark_weight = 1.0 - signal_weight
+        return signal_weight * e_optical + dark_weight * 0.5
+
+    def sifted_rate_per_slot(self) -> float:
+        """Expected sifted bits per trigger slot (basis match halves the clicks)."""
+        return 0.5 * self.click_probability()
+
+    def sifted_rate_per_second(self) -> float:
+        """Expected sifted key rate in bits per second at the source pulse rate."""
+        if self.parameters.is_entangled:
+            pulse_rate = self.parameters.entangled_source.pulse_rate_hz
+        else:
+            pulse_rate = self.parameters.source.pulse_rate_hz
+        return self.sifted_rate_per_slot() * pulse_rate
+
+    def expected_sifted_fraction(self) -> float:
+        """Fraction of transmitted slots that become sifted bits (paper's 1-in-200 example)."""
+        return self.sifted_rate_per_slot()
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumChannel(mu={self.parameters.source.mean_photon_number}, "
+            f"path={self.parameters.path.loss_db:.1f} dB, "
+            f"expected_qber={self.expected_qber():.3f})"
+        )

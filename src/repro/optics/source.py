@@ -1,0 +1,110 @@
+"""Weak-coherent QKD pulse source (Alice's transmitter suite).
+
+The transmitter is "a very highly attenuated laser pulse at 1550 nm" passed
+through a Mach-Zehnder interferometer "randomly modulated to one of four
+phases, thus encoding both a basis and a value" (paper section 4).  Because
+the laser is attenuated rather than a true single-photon emitter, the photon
+number in each pulse is Poisson distributed with a small mean (0.1 photons
+per pulse at the paper's operating point); pulses containing two or more
+photons are what make photon-number-splitting attacks possible.
+
+The phase applied per pulse is ``basis * pi/2 + value * pi`` — i.e. phases
+{0, pi} encode 0/1 in basis 0 and {pi/2, 3 pi/2} encode 0/1 in basis 1 — which
+matches the summing-amplifier construction in Fig 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import DeterministicRNG
+from repro.util.units import multi_photon_probability, non_empty_pulse_probability
+
+
+@dataclass(frozen=True)
+class SourceParameters:
+    """Operating parameters of the weak-coherent source.
+
+    Defaults reproduce the paper's stated operating point: a 1 MHz trigger
+    rate with a mean photon-emission number of 0.1 photons per pulse.
+    """
+
+    mean_photon_number: float = 0.1
+    pulse_rate_hz: float = 1.0e6
+    wavelength_nm: float = 1550.0
+
+    def __post_init__(self) -> None:
+        if self.mean_photon_number < 0:
+            raise ValueError("mean photon number must be non-negative")
+        if self.pulse_rate_hz <= 0:
+            raise ValueError("pulse rate must be positive")
+
+    @property
+    def multi_photon_probability(self) -> float:
+        """Probability a pulse carries two or more photons (PNS exposure)."""
+        return multi_photon_probability(self.mean_photon_number)
+
+    @property
+    def non_empty_probability(self) -> float:
+        """Probability a pulse carries at least one photon."""
+        return non_empty_pulse_probability(self.mean_photon_number)
+
+
+class WeakCoherentSource:
+    """Generates batches of phase-modulated weak-coherent pulses.
+
+    The batch interface returns parallel numpy arrays so that millions of
+    1 MHz trigger slots can be simulated quickly; the protocol stack consumes
+    these arrays as a raw Qframe.
+    """
+
+    def __init__(self, parameters: SourceParameters = None, rng: DeterministicRNG = None):
+        self.parameters = parameters or SourceParameters()
+        self.rng = rng or DeterministicRNG(0)
+        self._numpy_rng = np.random.default_rng(self.rng.getrandbits(64))
+        self.pulses_emitted = 0
+
+    # ------------------------------------------------------------------ #
+
+    def emit(self, n_pulses: int):
+        """Emit ``n_pulses`` trigger slots.
+
+        Returns a dict of numpy arrays, one entry per slot:
+
+        ``basis``
+            Alice's random basis choice (0 or 1).
+        ``value``
+            Alice's random key bit (0 or 1).
+        ``phase``
+            The modulator phase in radians, ``basis*pi/2 + value*pi``.
+        ``photons``
+            Poissonian photon number actually present in the slot.
+        """
+        if n_pulses < 0:
+            raise ValueError("number of pulses must be non-negative")
+        basis = self._numpy_rng.integers(0, 2, size=n_pulses, dtype=np.uint8)
+        value = self._numpy_rng.integers(0, 2, size=n_pulses, dtype=np.uint8)
+        phase = basis * (math.pi / 2.0) + value * math.pi
+        photons = self._numpy_rng.poisson(
+            self.parameters.mean_photon_number, size=n_pulses
+        ).astype(np.int64)
+        self.pulses_emitted += int(n_pulses)
+        return {
+            "basis": basis,
+            "value": value,
+            "phase": phase,
+            "photons": photons,
+        }
+
+    def emission_duration_seconds(self, n_pulses: int) -> float:
+        """Wall-clock time the transmitter needs to emit ``n_pulses`` slots."""
+        return n_pulses / self.parameters.pulse_rate_hz
+
+    def __repr__(self) -> str:
+        return (
+            f"WeakCoherentSource(mu={self.parameters.mean_photon_number}, "
+            f"rate={self.parameters.pulse_rate_hz/1e6:g} MHz)"
+        )

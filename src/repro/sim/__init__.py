@@ -1,0 +1,13 @@
+"""A minimal discrete-event simulation substrate.
+
+The IPsec gateways (key rollover timers, SA lifetimes) and the QKD network
+experiments (link failures, rerouting) need a notion of simulated time that
+is decoupled from wall-clock time.  :class:`SimClock` provides the time base
+and :class:`EventScheduler` a priority queue of timestamped callbacks — just
+enough machinery for the paper's scenarios without pulling in a full DES
+framework.
+"""
+
+from repro.sim.clock import SimClock, EventScheduler, ScheduledEvent
+
+__all__ = ["SimClock", "EventScheduler", "ScheduledEvent"]

@@ -1,0 +1,110 @@
+"""Simulated time and event scheduling."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rewinding is an error."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump forward to an absolute time (never backwards)."""
+        if timestamp < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.3f}s)"
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One scheduled callback; ordering is by time, then insertion order."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A priority queue of events driven against a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self._queue: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self.events_run = 0
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule a callback at an absolute simulated time."""
+        if time < self.clock.now():
+            raise ValueError("cannot schedule an event in the past")
+        event = ScheduledEvent(time=time, sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule a callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.now() + delay, callback, label)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-run, not-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def run_until(self, end_time: float) -> int:
+        """Run every event scheduled up to and including ``end_time``.
+
+        The clock is advanced to each event's timestamp as it runs, and to
+        ``end_time`` at the end.  Returns the number of callbacks executed.
+        """
+        executed = 0
+        while self._queue and self._queue[0].time <= end_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            executed += 1
+            self.events_run += 1
+        self.clock.advance_to(max(end_time, self.clock.now()))
+        return executed
+
+    def run_all(self, max_events: int = 100_000) -> int:
+        """Run until the queue is empty (bounded by ``max_events``)."""
+        executed = 0
+        while self._queue and executed < max_events:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            executed += 1
+            self.events_run += 1
+        return executed

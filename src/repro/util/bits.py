@@ -1,0 +1,289 @@
+"""A compact, immutable bit-string type used throughout the QKD stack.
+
+Every stage of the QKD protocol pipeline (sifting, Cascade error correction,
+privacy amplification, authentication) manipulates sequences of bits: raw key
+symbols, sifted keys, parity subsets, hash outputs.  ``BitString`` gives those
+stages a single well-tested representation with the operations they need:
+
+* bitwise XOR (used for parity computation and one-time-pad encryption),
+* parity of arbitrary subsets,
+* slicing and concatenation,
+* conversion to and from ``bytes`` and ``int``,
+* Hamming distance and error counting between Alice's and Bob's keys.
+
+The class stores bits as a Python ``tuple`` of ints (0/1).  That is not the
+most memory-compact choice, but it is simple, hashable and fast enough for the
+key sizes the paper deals with (thousands to hundreds of thousands of bits),
+and it keeps every operation easy to reason about and test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+
+class BitString:
+    """An immutable sequence of bits with cryptographic convenience methods."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int] = ()):
+        values = tuple(int(b) for b in bits)
+        for value in values:
+            if value not in (0, 1):
+                raise ValueError(f"bit values must be 0 or 1, got {value}")
+        self._bits = values
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def zeros(cls, n: int) -> "BitString":
+        """Return a bit string of ``n`` zero bits."""
+        if n < 0:
+            raise ValueError("length must be non-negative")
+        return cls([0] * n)
+
+    @classmethod
+    def ones(cls, n: int) -> "BitString":
+        """Return a bit string of ``n`` one bits."""
+        if n < 0:
+            raise ValueError("length must be non-negative")
+        return cls([1] * n)
+
+    @classmethod
+    def from_int(cls, value: int, length: int) -> "BitString":
+        """Build a bit string from an integer, most-significant bit first."""
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if length and value >> length:
+            raise ValueError(f"value {value} does not fit in {length} bits")
+        if length == 0 and value:
+            raise ValueError("cannot encode a non-zero value in zero bits")
+        if length == 0:
+            return cls()
+        # Go through the integer's byte representation so the conversion is
+        # linear in the length (per-bit shifting of a large int is quadratic,
+        # which matters for the megabit key pools the VPN experiments use).
+        n_bytes = (length + 7) // 8
+        padding = n_bytes * 8 - length
+        data = (value << padding).to_bytes(n_bytes, "big")
+        bits: List[int] = []
+        for byte in data:
+            for shift in range(7, -1, -1):
+                bits.append((byte >> shift) & 1)
+        return cls(bits[:length])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BitString":
+        """Build a bit string from bytes, most-significant bit of each byte first."""
+        bits: List[int] = []
+        for byte in data:
+            for shift in range(7, -1, -1):
+                bits.append((byte >> shift) & 1)
+        return cls(bits)
+
+    @classmethod
+    def from_str(cls, text: str) -> "BitString":
+        """Build a bit string from a string of ``'0'``/``'1'`` characters."""
+        cleaned = text.replace(" ", "").replace("_", "")
+        if any(ch not in "01" for ch in cleaned):
+            raise ValueError(f"not a binary string: {text!r}")
+        return cls(int(ch) for ch in cleaned)
+
+    @classmethod
+    def random(cls, n: int, rng) -> "BitString":
+        """Draw ``n`` uniformly random bits from ``rng`` (anything with ``getrandbits``)."""
+        if n < 0:
+            raise ValueError("length must be non-negative")
+        if n == 0:
+            return cls()
+        value = rng.getrandbits(n)
+        return cls.from_int(value, n)
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+
+    def to_int(self) -> int:
+        """Interpret the bit string as an integer, most-significant bit first."""
+        value = 0
+        for bit in self._bits:
+            value = (value << 1) | bit
+        return value
+
+    def to_bytes(self) -> bytes:
+        """Pack into bytes (zero-padded on the right to a byte boundary)."""
+        if not self._bits:
+            return b""
+        padded = list(self._bits)
+        while len(padded) % 8:
+            padded.append(0)
+        out = bytearray()
+        for i in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[i : i + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+    def to_list(self) -> List[int]:
+        """Return the bits as a plain mutable list."""
+        return list(self._bits)
+
+    def __str__(self) -> str:
+        return "".join(str(b) for b in self._bits)
+
+    def __repr__(self) -> str:
+        if len(self._bits) <= 64:
+            return f"BitString('{self}')"
+        head = "".join(str(b) for b in self._bits[:32])
+        return f"BitString('{head}...', len={len(self._bits)})"
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._bits)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[int, "BitString"]:
+        if isinstance(index, slice):
+            return BitString(self._bits[index])
+        return self._bits[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitString):
+            return self._bits == other._bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __add__(self, other: "BitString") -> "BitString":
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return BitString(self._bits + other._bits)
+
+    def __bool__(self) -> bool:
+        return bool(self._bits)
+
+    # ------------------------------------------------------------------ #
+    # Bitwise operations
+    # ------------------------------------------------------------------ #
+
+    def __xor__(self, other: "BitString") -> "BitString":
+        if not isinstance(other, BitString):
+            return NotImplemented
+        if len(other) != len(self):
+            raise ValueError(
+                f"XOR requires equal lengths ({len(self)} vs {len(other)})"
+            )
+        return BitString(a ^ b for a, b in zip(self._bits, other._bits))
+
+    def __and__(self, other: "BitString") -> "BitString":
+        if not isinstance(other, BitString):
+            return NotImplemented
+        if len(other) != len(self):
+            raise ValueError(
+                f"AND requires equal lengths ({len(self)} vs {len(other)})"
+            )
+        return BitString(a & b for a, b in zip(self._bits, other._bits))
+
+    def __invert__(self) -> "BitString":
+        return BitString(1 - b for b in self._bits)
+
+    def flip(self, index: int) -> "BitString":
+        """Return a copy with the bit at ``index`` flipped."""
+        bits = list(self._bits)
+        bits[index] ^= 1
+        return BitString(bits)
+
+    def set(self, index: int, value: int) -> "BitString":
+        """Return a copy with the bit at ``index`` set to ``value``."""
+        if value not in (0, 1):
+            raise ValueError("bit values must be 0 or 1")
+        bits = list(self._bits)
+        bits[index] = value
+        return BitString(bits)
+
+    # ------------------------------------------------------------------ #
+    # Cryptographic / statistical helpers
+    # ------------------------------------------------------------------ #
+
+    def popcount(self) -> int:
+        """Number of one bits."""
+        return sum(self._bits)
+
+    def parity(self) -> int:
+        """Parity (XOR) of all bits."""
+        return self.popcount() & 1
+
+    def subset(self, indices: Sequence[int]) -> "BitString":
+        """Return the bits at the given indices, in order."""
+        return BitString(self._bits[i] for i in indices)
+
+    def subset_parity(self, indices: Iterable[int]) -> int:
+        """Parity of the bits at the given indices."""
+        parity = 0
+        for i in indices:
+            parity ^= self._bits[i]
+        return parity
+
+    def masked_parity(self, mask: "BitString") -> int:
+        """Parity of ``self AND mask`` — parity over the positions selected by a mask."""
+        if len(mask) != len(self):
+            raise ValueError("mask length must match")
+        parity = 0
+        for a, b in zip(self._bits, mask._bits):
+            parity ^= a & b
+        return parity
+
+    def hamming_distance(self, other: "BitString") -> int:
+        """Number of differing positions between two equal-length bit strings."""
+        if len(other) != len(self):
+            raise ValueError("hamming distance requires equal lengths")
+        return sum(a != b for a, b in zip(self._bits, other._bits))
+
+    def error_rate(self, other: "BitString") -> float:
+        """Fraction of positions that differ (the empirical QBER between keys)."""
+        if len(self) == 0:
+            return 0.0
+        return self.hamming_distance(other) / len(self)
+
+    def chunks(self, size: int) -> List["BitString"]:
+        """Split into consecutive chunks of at most ``size`` bits."""
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        return [self[i : i + size] for i in range(0, len(self), size)]
+
+    def concat(self, *others: "BitString") -> "BitString":
+        """Concatenate this bit string with others."""
+        bits = list(self._bits)
+        for other in others:
+            bits.extend(other._bits)
+        return BitString(bits)
+
+    def balance(self) -> float:
+        """Fraction of one bits; 0.5 for an ideally random string."""
+        if not self._bits:
+            return 0.0
+        return self.popcount() / len(self._bits)
+
+    def runs(self) -> List[int]:
+        """Lengths of runs of identical bits (used by run-length sift encoding)."""
+        if not self._bits:
+            return []
+        lengths = [1]
+        for previous, current in zip(self._bits, self._bits[1:]):
+            if current == previous:
+                lengths[-1] += 1
+            else:
+                lengths.append(1)
+        return lengths

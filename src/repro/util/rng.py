@@ -1,0 +1,137 @@
+"""Deterministic randomness for reproducible QKD simulations.
+
+Physics simulations of quantum channels are inherently stochastic (photon
+number statistics, detector dark counts, basis choices).  To make experiments
+and tests reproducible every component draws randomness from a
+``DeterministicRNG`` that is explicitly seeded, and components that need
+independent streams derive child generators with :meth:`DeterministicRNG.fork`
+rather than sharing one stream (which would make results depend on call order).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRNG:
+    """A seeded random source with the draws the QKD stack needs.
+
+    This wraps :class:`random.Random` (a Mersenne Twister) rather than
+    ``numpy`` so that single-draw call sites stay cheap and the dependency
+    surface stays small.  It is *not* a cryptographic RNG; within the
+    simulation it stands in for both the physical randomness of the quantum
+    channel and the local random choices (basis selection, LFSR seeds) that a
+    real implementation would take from a hardware RNG.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self.seed = seed
+        self._random = random.Random(seed)
+        self._fork_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Stream management
+    # ------------------------------------------------------------------ #
+
+    def fork(self, label: str = "") -> "DeterministicRNG":
+        """Derive an independent child generator.
+
+        The child's seed mixes this generator's seed, a per-parent counter and
+        the optional label, so forking in a fixed order yields a fixed set of
+        independent streams.
+        """
+        self._fork_counter += 1
+        base = self.seed if self.seed is not None else 0
+        child_seed = hash((base, self._fork_counter, label)) & 0xFFFFFFFFFFFFFFFF
+        return DeterministicRNG(child_seed)
+
+    # ------------------------------------------------------------------ #
+    # Primitive draws
+    # ------------------------------------------------------------------ #
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def getrandbits(self, n: int) -> int:
+        """``n`` random bits as an integer (``n`` may be 0)."""
+        if n == 0:
+            return 0
+        return self._random.getrandbits(n)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def bit(self) -> int:
+        """A single uniformly random bit."""
+        return self._random.getrandbits(1)
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._random.random() < probability
+
+    def choice(self, options: Sequence[T]) -> T:
+        """Pick one element uniformly at random."""
+        return self._random.choice(options)
+
+    def shuffle(self, items: List[T]) -> List[T]:
+        """Return a shuffled copy of ``items`` (the input is not modified)."""
+        shuffled = list(items)
+        self._random.shuffle(shuffled)
+        return shuffled
+
+    def sample(self, population: Sequence[T], k: int) -> List[T]:
+        """Sample ``k`` distinct elements without replacement."""
+        return self._random.sample(population, k)
+
+    # ------------------------------------------------------------------ #
+    # Distributions used by the photonic simulation
+    # ------------------------------------------------------------------ #
+
+    def poisson(self, mean: float) -> int:
+        """Poisson-distributed photon number for a weak-coherent pulse.
+
+        Uses Knuth's multiplication method, which is exact and fast for the
+        small means (mu ~ 0.1) used in QKD sources.
+        """
+        if mean < 0:
+            raise ValueError("Poisson mean must be non-negative")
+        if mean == 0:
+            return 0
+        import math
+
+        limit = math.exp(-mean)
+        count = 0
+        product = self._random.random()
+        while product > limit:
+            count += 1
+            product *= self._random.random()
+        return count
+
+    def exponential(self, mean: float) -> float:
+        """Exponentially distributed waiting time (e.g. between dark counts)."""
+        if mean <= 0:
+            raise ValueError("exponential mean must be positive")
+        return self._random.expovariate(1.0 / mean)
+
+    def gauss(self, mean: float, stddev: float) -> float:
+        """Gaussian draw (used for timing jitter and phase drift)."""
+        return self._random.gauss(mean, stddev)
+
+    def binomial(self, n: int, probability: float) -> int:
+        """Number of successes in ``n`` Bernoulli trials."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return sum(1 for _ in range(n) if self.bernoulli(probability))

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite.
+
+Everything stochastic is seeded so the suite is deterministic; tests that
+check statistical properties use sample sizes large enough that the assertion
+bands hold with very large margin for the fixed seeds.
+"""
+
+import pytest
+
+from repro.optics.channel import ChannelParameters, QuantumChannel
+from repro.util.rng import DeterministicRNG
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return DeterministicRNG(12345)
+
+
+@pytest.fixture
+def paper_channel():
+    """The paper's operating-point channel with a fixed seed."""
+    return QuantumChannel(ChannelParameters.paper_operating_point(), DeterministicRNG(2003))
+
+
+@pytest.fixture
+def small_frame(paper_channel):
+    """A modest Monte-Carlo frame used by protocol-level tests."""
+    return paper_channel.transmit(400_000)

@@ -1,0 +1,123 @@
+"""Tests for the from-scratch AES implementation against FIPS-197 vectors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX, gf256_inverse, gf256_multiply
+
+
+class TestGF256:
+    def test_known_products(self):
+        # FIPS-197 worked example: 0x57 * 0x83 = 0xC1, 0x57 * 0x13 = 0xFE
+        assert gf256_multiply(0x57, 0x83) == 0xC1
+        assert gf256_multiply(0x57, 0x13) == 0xFE
+
+    def test_multiplicative_identity(self):
+        for value in range(256):
+            assert gf256_multiply(value, 1) == value
+
+    def test_inverse(self):
+        assert gf256_inverse(0) == 0
+        for value in range(1, 256):
+            assert gf256_multiply(value, gf256_inverse(value)) == 1
+
+
+class TestSbox:
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+
+class TestKeySizes:
+    def test_accepted_sizes(self):
+        for size in (16, 24, 32):
+            assert AES(bytes(size)).rounds in (10, 12, 14)
+
+    def test_rejected_sizes(self):
+        for size in (0, 8, 15, 17, 33):
+            with pytest.raises(ValueError):
+                AES(bytes(size))
+
+    def test_round_counts(self):
+        assert AES(bytes(16)).rounds == 10
+        assert AES(bytes(24)).rounds == 12
+        assert AES(bytes(32)).rounds == 14
+
+
+class TestFipsVectors:
+    """The FIPS-197 Appendix C known-answer vectors."""
+
+    PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_aes256(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).encrypt_block(self.PLAINTEXT) == expected
+
+    def test_decrypt_vectors(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).decrypt_block(ciphertext) == self.PLAINTEXT
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        # First ECB block from SP 800-38A F.1.1.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+
+class TestBlockDiscipline:
+    def test_wrong_block_sizes_rejected(self):
+        cipher = AES(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(17))
+
+    def test_different_keys_different_ciphertexts(self):
+        block = bytes(16)
+        assert AES(bytes(16)).encrypt_block(block) != AES(b"\x01" * 16).encrypt_block(block)
+
+    def test_avalanche(self):
+        """Flipping one plaintext bit changes roughly half the ciphertext bits."""
+        cipher = AES(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        base = cipher.encrypt_block(bytes(16))
+        flipped = cipher.encrypt_block(b"\x01" + bytes(15))
+        differing = sum(bin(a ^ b).count("1") for a, b in zip(base, flipped))
+        assert 30 <= differing <= 98
+
+
+class TestRoundTripProperties:
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_128(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=32, max_size=32), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_256(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

@@ -1,0 +1,276 @@
+"""Tests for block-cipher modes, SHA-1 / HMAC, the one-time pad, and Wegman-Carter."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_keystream,
+    ctr_transform,
+    ecb_decrypt,
+    ecb_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.otp import OneTimePad, PadExhaustedError
+from repro.crypto.sha1 import hmac_sha1, prf_expand, sha1, sha1_hexdigest
+from repro.crypto.wegman_carter import (
+    AuthenticationError,
+    KeyPoolExhaustedError,
+    SharedSecretPool,
+    WegmanCarterAuthenticator,
+)
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+IV = bytes(range(16))
+
+
+class TestPadding:
+    def test_pad_length_always_added(self):
+        assert len(pkcs7_pad(b"")) == 16
+        assert len(pkcs7_pad(bytes(16))) == 32
+
+    def test_unpad_roundtrip(self):
+        for size in (0, 1, 15, 16, 17, 100):
+            data = bytes(range(256))[:size]
+            assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_unpad_rejects_bad_padding(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(bytes(16))
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"")
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"\x01" * 15 + b"\x03")
+
+
+class TestModes:
+    def test_ecb_roundtrip(self):
+        cipher = AES(KEY)
+        message = b"quantum keys roll over once a minute"
+        assert ecb_decrypt(cipher, ecb_encrypt(cipher, message)) == message
+
+    def test_cbc_roundtrip(self):
+        cipher = AES(KEY)
+        message = b"x" * 100
+        assert cbc_decrypt(cipher, cbc_encrypt(cipher, message, IV), IV) == message
+
+    def test_cbc_iv_matters(self):
+        cipher = AES(KEY)
+        message = b"same plaintext"
+        other_iv = bytes(reversed(IV))
+        assert cbc_encrypt(cipher, message, IV) != cbc_encrypt(cipher, message, other_iv)
+
+    def test_cbc_equal_blocks_encrypt_differently(self):
+        cipher = AES(KEY)
+        message = bytes(16) * 2
+        ciphertext = cbc_encrypt(cipher, message, IV)
+        assert ciphertext[:16] != ciphertext[16:32]
+
+    def test_cbc_validates_iv_and_ciphertext(self):
+        cipher = AES(KEY)
+        with pytest.raises(ValueError):
+            cbc_encrypt(cipher, b"data", b"short-iv")
+        with pytest.raises(ValueError):
+            cbc_decrypt(cipher, b"not-a-block", IV)
+
+    def test_ctr_roundtrip(self):
+        cipher = AES(KEY)
+        message = b"one-time pads consume key fast" * 3
+        nonce = b"12345678"
+        assert ctr_transform(cipher, ctr_transform(cipher, message, nonce), nonce) == message
+
+    def test_ctr_keystream_length_and_determinism(self):
+        cipher = AES(KEY)
+        ks = ctr_keystream(cipher, b"abcdefgh", 100)
+        assert len(ks) == 100
+        assert ks == ctr_keystream(cipher, b"abcdefgh", 100)
+
+    def test_ctr_nonce_length_enforced(self):
+        with pytest.raises(ValueError):
+            ctr_keystream(AES(KEY), b"short", 10)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_cbc_roundtrip_property(self, message):
+        cipher = AES(KEY)
+        assert cbc_decrypt(cipher, cbc_encrypt(cipher, message, IV), IV) == message
+
+
+class TestSha1:
+    def test_empty_and_known_vectors(self):
+        assert sha1_hexdigest(b"") == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        assert sha1_hexdigest(b"abc") == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_against_hashlib(self):
+        for size in (0, 1, 55, 56, 63, 64, 65, 200, 1000):
+            message = bytes(range(256)) * 4
+            message = message[:size]
+            assert sha1(message) == hashlib.sha1(message).digest()
+
+    def test_hmac_rfc2202_vectors(self):
+        assert hmac_sha1(b"\x0b" * 20, b"Hi There").hex() == (
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        )
+        assert hmac_sha1(b"Jefe", b"what do ya want for nothing?").hex() == (
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        )
+
+    def test_hmac_long_key_against_stdlib(self):
+        key = bytes(range(100))
+        message = b"key longer than the block size"
+        assert hmac_sha1(key, message) == stdlib_hmac.new(key, message, hashlib.sha1).digest()
+
+    def test_prf_expand_lengths(self):
+        assert len(prf_expand(b"k", b"seed", 0)) == 0
+        assert len(prf_expand(b"k", b"seed", 17)) == 17
+        assert len(prf_expand(b"k", b"seed", 100)) == 100
+
+    def test_prf_expand_deterministic_and_seed_sensitive(self):
+        assert prf_expand(b"k", b"a", 32) == prf_expand(b"k", b"a", 32)
+        assert prf_expand(b"k", b"a", 32) != prf_expand(b"k", b"b", 32)
+        assert prf_expand(b"k1", b"a", 32) != prf_expand(b"k2", b"a", 32)
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_sha1_matches_hashlib_property(self, message):
+        assert sha1(message) == hashlib.sha1(message).digest()
+
+
+class TestOneTimePad:
+    def test_roundtrip_with_mirrored_pools(self):
+        material = bytes(range(256))
+        sender = OneTimePad(material)
+        receiver = OneTimePad(material)
+        first = sender.encrypt(b"attack at dawn")
+        second = sender.encrypt(b"no, wait")
+        assert receiver.decrypt(first) == b"attack at dawn"
+        assert receiver.decrypt(second) == b"no, wait"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        pad = OneTimePad(bytes(range(1, 200)))
+        assert pad.encrypt(b"secret") != b"secret"
+
+    def test_consumption_accounting(self):
+        pad = OneTimePad(bytes(100))
+        pad.encrypt(b"12345")
+        assert pad.consumed_bytes == 5
+        assert pad.available_bytes == 95
+        assert pad.added_bytes == 100
+
+    def test_exhaustion(self):
+        pad = OneTimePad(bytes(4))
+        with pytest.raises(PadExhaustedError):
+            pad.encrypt(b"too long for the pad")
+        # Nothing consumed on failure.
+        assert pad.available_bytes == 4
+
+    def test_replenishment(self):
+        pad = OneTimePad()
+        pad.add_key_material(b"\xaa" * 10)
+        assert pad.available_bytes == 10
+        pad.add_key_bits(BitString.ones(16))
+        assert pad.available_bytes == 12
+
+    def test_add_key_bits_ignores_partial_byte(self):
+        pad = OneTimePad()
+        pad.add_key_bits(BitString.ones(7))
+        assert pad.available_bytes == 0
+
+    def test_peek_does_not_consume(self):
+        pad = OneTimePad(bytes(range(10)))
+        assert pad.peek(3) == bytes([0, 1, 2])
+        assert pad.available_bytes == 10
+        with pytest.raises(PadExhaustedError):
+            pad.peek(11)
+
+
+class TestWegmanCarter:
+    def _paired(self, bits=4096, tag_bits=32):
+        rng = DeterministicRNG(77)
+        shared = BitString.random(bits, rng)
+        return (
+            WegmanCarterAuthenticator(SharedSecretPool(shared), tag_bits=tag_bits),
+            WegmanCarterAuthenticator(SharedSecretPool(shared), tag_bits=tag_bits),
+        )
+
+    def test_tag_verify_roundtrip(self):
+        alice, bob = self._paired()
+        message = b"sift message covering frame 7"
+        bob.verify(message, alice.tag(message))
+
+    def test_multiple_messages_stay_in_sync(self):
+        alice, bob = self._paired()
+        for index in range(10):
+            message = f"protocol message {index}".encode()
+            bob.verify(message, alice.tag(message))
+
+    def test_tampered_message_rejected(self):
+        alice, bob = self._paired()
+        tag = alice.tag(b"parity list: 0 1 1 0")
+        with pytest.raises(AuthenticationError):
+            bob.verify(b"parity list: 0 1 1 1", tag)
+
+    def test_forged_tag_rejected(self):
+        alice, bob = self._paired()
+        tag = alice.tag(b"legitimate")
+        forged = tag.flip(0)
+        with pytest.raises(AuthenticationError):
+            bob.verify(b"legitimate", forged)
+
+    def test_eve_without_pool_cannot_forge(self):
+        alice, bob = self._paired()
+        rng = DeterministicRNG(999)
+        eve = WegmanCarterAuthenticator(SharedSecretPool(BitString.random(4096, rng)))
+        message = b"impersonation attempt"
+        eve_tag = eve.tag(message)
+        with pytest.raises(AuthenticationError):
+            bob.verify(message, eve_tag)
+
+    def test_tags_consume_pool_bits(self):
+        alice, _ = self._paired()
+        before = alice.pool.available_bits
+        alice.tag(b"m")
+        assert alice.pool.available_bits == before - alice.tag_bits
+
+    def test_pool_exhaustion_raises(self):
+        rng = DeterministicRNG(5)
+        shared = BitString.random(400, rng)
+        alice = WegmanCarterAuthenticator(SharedSecretPool(shared), tag_bits=32)
+        with pytest.raises(KeyPoolExhaustedError):
+            for _ in range(100):
+                alice.tag(b"spam until the pool dies")
+
+    def test_replenishment_extends_life(self):
+        rng = DeterministicRNG(6)
+        shared = BitString.random(512, rng)
+        pool = SharedSecretPool(shared)
+        alice = WegmanCarterAuthenticator(pool, tag_bits=32)
+        for _ in range(4):
+            alice.tag(b"message")
+        pool.add(BitString.random(256, rng))
+        for _ in range(4):
+            alice.tag(b"message")
+        assert pool.replenished_bits == 256
+
+    def test_length_extension_matters(self):
+        """Messages that differ only by trailing zero bytes must tag differently."""
+        alice1, bob1 = self._paired()
+        tag = alice1.tag(b"abc")
+        with pytest.raises(AuthenticationError):
+            bob1.verify(b"abc\x00", tag)
+
+    def test_constructor_validation(self):
+        rng = DeterministicRNG(1)
+        pool = SharedSecretPool(BitString.random(4096, rng))
+        with pytest.raises(ValueError):
+            WegmanCarterAuthenticator(pool, tag_bits=0)
+        with pytest.raises(ValueError):
+            WegmanCarterAuthenticator(pool, tag_bits=64, block_bits=64)

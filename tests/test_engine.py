@@ -1,0 +1,154 @@
+"""Tests for the full QKD protocol engine (the pipeline of Fig 9)."""
+
+import pytest
+
+from repro.core.engine import EngineParameters, QKDProtocolEngine
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+def noisy_pair(n: int, error_rate: float, seed: int = 1):
+    rng = DeterministicRNG(seed)
+    alice = BitString.random(n, rng)
+    errors = rng.sample(range(n), int(round(error_rate * n)))
+    bob = alice.to_list()
+    for index in errors:
+        bob[index] ^= 1
+    return alice, BitString(bob)
+
+
+class TestEngineParameters:
+    def test_defaults(self):
+        params = EngineParameters()
+        assert params.defense == "bennett"
+        assert params.confidence_sigmas == 5.0
+        assert params.block_size_bits == 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineParameters(defense="other")
+        with pytest.raises(ValueError):
+            EngineParameters(block_size_bits=0)
+        with pytest.raises(ValueError):
+            EngineParameters(abort_qber=0.0)
+
+    def test_make_defense(self):
+        assert EngineParameters(defense="bennett").make_defense().name == "bennett"
+        assert EngineParameters(defense="slutsky").make_defense().name == "slutsky"
+
+
+class TestDistillBlock:
+    def test_clean_block_distills_key(self):
+        engine = QKDProtocolEngine(rng=DeterministicRNG(2))
+        alice, bob = noisy_pair(2048, 0.05, seed=3)
+        outcome = engine.distill_block(alice, bob, transmitted_pulses=500_000)
+        assert not outcome.aborted
+        assert outcome.authenticated
+        assert outcome.distilled_bits > 0
+        assert outcome.cascade.matches_reference
+        assert 0 < outcome.secret_fraction < 1
+
+    def test_both_pools_receive_identical_key(self):
+        engine = QKDProtocolEngine(rng=DeterministicRNG(4))
+        alice, bob = noisy_pair(2048, 0.06, seed=5)
+        engine.distill_block(alice, bob, transmitted_pulses=500_000)
+        assert engine.keys_match
+        n = engine.alice_pool.available_bits
+        assert n > 0
+        assert engine.alice_pool.draw_bits(n) == engine.bob_pool.draw_bits(n)
+
+    def test_high_qber_aborts(self):
+        """QBER above the alarm threshold is treated as eavesdropping."""
+        engine = QKDProtocolEngine(rng=DeterministicRNG(6))
+        alice, bob = noisy_pair(1024, 0.30, seed=7)
+        outcome = engine.distill_block(alice, bob, transmitted_pulses=100_000)
+        assert outcome.aborted
+        assert "eavesdropping" in outcome.abort_reason
+        assert outcome.distilled_bits == 0
+        assert engine.statistics.blocks_aborted == 1
+        assert engine.alice_pool.available_bits == 0
+
+    def test_slutsky_defense_more_conservative(self):
+        alice, bob = noisy_pair(3072, 0.05, seed=8)
+        bennett_engine = QKDProtocolEngine(EngineParameters(defense="bennett"), DeterministicRNG(9))
+        slutsky_engine = QKDProtocolEngine(EngineParameters(defense="slutsky"), DeterministicRNG(9))
+        b = bennett_engine.distill_block(alice, bob, transmitted_pulses=800_000)
+        s = slutsky_engine.distill_block(alice, bob, transmitted_pulses=800_000)
+        assert s.distilled_bits <= b.distilled_bits
+
+    def test_disclosed_parities_charged(self):
+        engine = QKDProtocolEngine(rng=DeterministicRNG(10))
+        alice, bob = noisy_pair(2048, 0.05, seed=11)
+        outcome = engine.distill_block(alice, bob, transmitted_pulses=400_000)
+        assert outcome.entropy.inputs.disclosed_parities == outcome.cascade.disclosed_parities
+        # Distilled size is at most sifted - disclosed - defense.
+        assert outcome.distilled_bits < 2048 - outcome.cascade.disclosed_parities
+
+    def test_more_noise_less_key(self):
+        quiet_alice, quiet_bob = noisy_pair(2048, 0.03, seed=12)
+        noisy_alice, noisy_bob = noisy_pair(2048, 0.09, seed=13)
+        engine_a = QKDProtocolEngine(rng=DeterministicRNG(14))
+        engine_b = QKDProtocolEngine(rng=DeterministicRNG(14))
+        quiet = engine_a.distill_block(quiet_alice, quiet_bob, transmitted_pulses=400_000)
+        noisy = engine_b.distill_block(noisy_alice, noisy_bob, transmitted_pulses=400_000)
+        assert noisy.distilled_bits < quiet.distilled_bits
+
+    def test_auth_pool_replenished(self):
+        params = EngineParameters(auth_replenish_bits=128)
+        engine = QKDProtocolEngine(params, DeterministicRNG(15))
+        start = engine.alice_auth.available_secret_bits
+        alice, bob = noisy_pair(2048, 0.05, seed=16)
+        engine.distill_block(alice, bob, transmitted_pulses=400_000)
+        # Consumed 2 x 32 bits for tagging, gained 128 back.
+        assert engine.alice_auth.available_secret_bits == start - 64 + 128
+
+    def test_statistics_accumulate(self):
+        engine = QKDProtocolEngine(rng=DeterministicRNG(17))
+        for seed in (20, 21):
+            alice, bob = noisy_pair(1024, 0.05, seed=seed)
+            engine.distill_block(alice, bob, transmitted_pulses=200_000)
+        stats = engine.statistics
+        assert stats.blocks_distilled + stats.blocks_aborted == 2
+        assert stats.disclosed_parities > 0
+        assert len(engine.outcomes) == 2
+
+    def test_transcript_attached(self):
+        engine = QKDProtocolEngine(rng=DeterministicRNG(18))
+        alice, bob = noisy_pair(1024, 0.04, seed=19)
+        outcome = engine.distill_block(alice, bob, transmitted_pulses=200_000)
+        assert outcome.transcript is not None
+        assert len(outcome.transcript) > 0
+
+
+class TestFrameProcessing:
+    def test_process_frame_accumulates_until_block(self, paper_channel):
+        engine = QKDProtocolEngine(
+            EngineParameters(block_size_bits=1024), DeterministicRNG(20)
+        )
+        outcomes = []
+        # ~1.6 sifted bits per 1000 slots: 400k slots ~ 640 sifted bits per frame.
+        for _ in range(3):
+            frame = paper_channel.transmit(400_000)
+            outcomes.extend(engine.process_frame(frame, mean_photon_number=0.1))
+        assert engine.statistics.sifted_bits > 1024
+        assert len(outcomes) >= 1
+        assert all(not o.aborted for o in outcomes)
+
+    def test_flush_handles_partial_block(self, paper_channel):
+        engine = QKDProtocolEngine(
+            EngineParameters(block_size_bits=100_000), DeterministicRNG(21)
+        )
+        frame = paper_channel.transmit(300_000)
+        assert engine.process_frame(frame) == []
+        outcome = engine.flush()
+        assert outcome is not None
+        assert outcome.sifted_bits == engine.statistics.sifted_bits
+
+    def test_flush_empty_engine(self):
+        assert QKDProtocolEngine(rng=DeterministicRNG(22)).flush() is None
+
+    def test_mean_qber_statistic(self, paper_channel):
+        engine = QKDProtocolEngine(rng=DeterministicRNG(23))
+        engine.process_frame(paper_channel.transmit(500_000))
+        assert 0.03 < engine.statistics.mean_qber < 0.12
+        assert 0 < engine.statistics.sifted_fraction < 0.01

@@ -1,0 +1,151 @@
+"""Tests for GF(2) linear algebra (rank tracking underpins leakage accounting)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathkit.gf2 import GF2Matrix, IncrementalGF2Rank, gf2_rank, solve_gf2
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+class TestGf2Rank:
+    def test_empty(self):
+        assert gf2_rank([]) == 0
+
+    def test_zero_rows(self):
+        assert gf2_rank([0, 0, 0]) == 0
+
+    def test_identity_rows(self):
+        assert gf2_rank([0b001, 0b010, 0b100]) == 3
+
+    def test_dependent_rows(self):
+        # third row is the XOR of the first two
+        assert gf2_rank([0b110, 0b011, 0b101]) == 2
+
+    def test_duplicate_rows(self):
+        assert gf2_rank([0b1011, 0b1011, 0b1011]) == 1
+
+    def test_rank_bounded_by_dimensions(self):
+        rng = DeterministicRNG(1)
+        rows = [rng.getrandbits(16) for _ in range(40)]
+        rank = gf2_rank(rows)
+        assert rank <= 16
+        assert rank <= 40
+
+
+class TestIncrementalRank:
+    def test_matches_batch_rank(self):
+        rng = DeterministicRNG(2)
+        rows = [rng.getrandbits(32) for _ in range(50)]
+        tracker = IncrementalGF2Rank()
+        for row in rows:
+            tracker.add(row)
+        assert tracker.rank == gf2_rank(rows)
+
+    def test_add_reports_independence(self):
+        tracker = IncrementalGF2Rank()
+        assert tracker.add(0b01) is True
+        assert tracker.add(0b10) is True
+        assert tracker.add(0b11) is False  # dependent
+        assert tracker.rank == 2
+
+    def test_add_indices(self):
+        tracker = IncrementalGF2Rank()
+        assert tracker.add_indices([0, 2]) is True
+        assert tracker.add_indices([0, 2]) is False
+        assert tracker.rank == 1
+
+
+class TestGF2Matrix:
+    def test_from_bitstrings_and_row_access(self):
+        rows = [BitString([1, 0, 1]), BitString([0, 1, 1])]
+        matrix = GF2Matrix.from_bitstrings(rows)
+        assert matrix.shape == (2, 3)
+        assert matrix.row_bits(0) == rows[0]
+        assert matrix.row_bits(1) == rows[1]
+
+    def test_from_bitstrings_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.from_bitstrings([BitString([1]), BitString([1, 0])])
+
+    def test_from_index_sets(self):
+        matrix = GF2Matrix.from_index_sets([[0, 2], [1]], columns=3)
+        assert matrix.row_bits(0) == BitString([1, 0, 1])
+        assert matrix.row_bits(1) == BitString([0, 1, 0])
+
+    def test_from_index_sets_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GF2Matrix.from_index_sets([[5]], columns=3)
+
+    def test_identity(self):
+        identity = GF2Matrix.identity(4)
+        assert identity.rank() == 4
+        vector = BitString([1, 0, 1, 1])
+        assert identity.multiply_vector(vector) == vector
+
+    def test_multiply_vector_parities(self):
+        matrix = GF2Matrix.from_index_sets([[0, 1], [1, 2], [0, 2]], columns=3)
+        vector = BitString([1, 1, 0])
+        assert matrix.multiply_vector(vector) == BitString([0, 1, 1])
+
+    def test_multiply_vector_length_check(self):
+        matrix = GF2Matrix.identity(3)
+        with pytest.raises(ValueError):
+            matrix.multiply_vector(BitString([1, 0]))
+
+    def test_append_row(self):
+        matrix = GF2Matrix.identity(2)
+        bigger = matrix.append_row(BitString([1, 1]))
+        assert bigger.shape == (3, 2)
+        assert bigger.rank() == 2
+
+    def test_invalid_row_width(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([0b111], columns=2)
+
+
+class TestSolve:
+    def test_solves_identity_system(self):
+        matrix = GF2Matrix.identity(4)
+        rhs = BitString([1, 0, 1, 1])
+        assert solve_gf2(matrix, rhs) == rhs
+
+    def test_solution_satisfies_system(self):
+        rng = DeterministicRNG(5)
+        matrix = GF2Matrix([rng.getrandbits(8) for _ in range(6)], columns=8)
+        true_x = BitString.random(8, rng)
+        rhs = matrix.multiply_vector(true_x)
+        solution = solve_gf2(matrix, rhs)
+        assert solution is not None
+        assert matrix.multiply_vector(solution) == rhs
+
+    def test_detects_inconsistency(self):
+        matrix = GF2Matrix([0b01, 0b01], columns=2)
+        rhs = BitString([0, 1])  # same row, different parities: impossible
+        assert solve_gf2(matrix, rhs) is None
+
+    def test_rhs_length_check(self):
+        with pytest.raises(ValueError):
+            solve_gf2(GF2Matrix.identity(2), BitString([1]))
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**24 - 1), max_size=40))
+    def test_rank_invariant_under_duplication(self, rows):
+        assert gf2_rank(rows) == gf2_rank(rows + rows)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**24 - 1), max_size=40))
+    def test_rank_monotone_in_rows(self, rows):
+        assert gf2_rank(rows[: len(rows) // 2]) <= gf2_rank(rows)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=30),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_adding_xor_of_existing_rows_never_raises_rank(self, rows, picker):
+        base_rank = gf2_rank(rows)
+        combined = 0
+        for index, row in enumerate(rows):
+            if (picker >> index) & 1:
+                combined ^= row
+        assert gf2_rank(rows + [combined]) == base_rank

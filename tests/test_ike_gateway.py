@@ -1,0 +1,306 @@
+"""Tests for the IKE daemon with QKD extensions, ESP processing and the VPN gateways."""
+
+import pytest
+
+from repro.core.keypool import KeyPool
+from repro.crypto.otp import OneTimePad
+from repro.ipsec.esp import EspError, EspProcessor
+from repro.ipsec.gateway import GatewayPair, VPNGateway
+from repro.ipsec.ike import (
+    QBLOCK_BITS,
+    IKEConfig,
+    IKEDaemon,
+    NegotiationError,
+    NegotiationTimeout,
+)
+from repro.ipsec.packets import IPPacket
+from repro.ipsec.sad import SecurityAssociation, SecurityAssociationDatabase
+from repro.ipsec.spd import CipherSuite, PolicyAction, SecurityPolicy
+from repro.sim.clock import SimClock
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+def synced_pools(bits: int = 60_000, seed: int = 50):
+    shared = BitString.random(bits, DeterministicRNG(seed))
+    alice = KeyPool(name="alice")
+    bob = KeyPool(name="bob")
+    alice.add_bits(shared)
+    bob.add_bits(shared)
+    return alice, bob
+
+
+def make_daemons(alice_pool=None, bob_pool=None, **config_overrides):
+    if alice_pool is None:
+        alice_pool, bob_pool = synced_pools()
+    alice = IKEDaemon(
+        IKEConfig("alice-gw", "192.1.99.34", "192.1.99.35", **config_overrides),
+        alice_pool,
+        SecurityAssociationDatabase(),
+        DeterministicRNG(1),
+    )
+    bob = IKEDaemon(
+        IKEConfig("bob-gw", "192.1.99.35", "192.1.99.34", **config_overrides),
+        bob_pool,
+        SecurityAssociationDatabase(),
+        DeterministicRNG(2),
+    )
+    return alice, bob
+
+
+AES_POLICY = SecurityPolicy("enclave", "10.1.0.0/16", "10.2.0.0/16")
+OTP_POLICY = SecurityPolicy(
+    "pad", "10.3.0.0/16", "10.4.0.0/16",
+    cipher_suite=CipherSuite.ONE_TIME_PAD, qkd_bits_per_rekey=8192,
+)
+
+
+class TestPhase1:
+    def test_establishes_shared_state(self):
+        alice, bob = make_daemons()
+        state = alice.establish_phase1(bob)
+        assert alice.phase1 is bob.phase1 is state
+        assert any("ISAKMP-SA established" in line for line in alice.log_lines)
+
+    def test_mismatched_preshared_keys_fail(self):
+        alice, _ = make_daemons()
+        _, bob = make_daemons(preshared_key=b"different")
+        with pytest.raises(NegotiationError):
+            alice.establish_phase1(bob)
+
+    def test_phase2_requires_phase1(self):
+        alice, bob = make_daemons()
+        with pytest.raises(NegotiationError):
+            alice.negotiate_phase2(bob, AES_POLICY)
+
+
+class TestPhase2Qkd:
+    def test_qblock_accounting(self):
+        alice_pool, bob_pool = synced_pools()
+        alice, bob = make_daemons(alice_pool, bob_pool)
+        alice.establish_phase1(bob)
+        before = alice_pool.available_bits
+        alice.negotiate_phase2(bob, AES_POLICY)
+        assert alice_pool.available_bits == before - QBLOCK_BITS
+        assert bob_pool.available_bits == before - QBLOCK_BITS
+        negotiation = alice.negotiations[-1]
+        assert negotiation.granted_qblocks == 1
+        assert negotiation.qkd_bits_used == QBLOCK_BITS
+
+    def test_both_ends_derive_identical_keymat(self):
+        alice_pool, bob_pool = synced_pools()
+        alice, bob = make_daemons(alice_pool, bob_pool)
+        alice.establish_phase1(bob)
+        outbound_local, inbound_local = alice.negotiate_phase2(bob, AES_POLICY)
+        outbound_peer = bob.sad.lookup_spi(outbound_local.spi)
+        assert outbound_peer.encryption_key == outbound_local.encryption_key
+        assert outbound_peer.authentication_key == outbound_local.authentication_key
+
+    def test_diverged_pools_cause_silent_key_mismatch(self):
+        """The IKE blind spot the paper warns about: nothing notices at negotiation time."""
+        alice_pool, _ = synced_pools(seed=60)
+        _, bob_pool = synced_pools(seed=61)  # deliberately different key material
+        alice, bob = make_daemons(alice_pool, bob_pool)
+        alice.establish_phase1(bob)
+        outbound_local, _ = alice.negotiate_phase2(bob, AES_POLICY)
+        outbound_peer = bob.sad.lookup_spi(outbound_local.spi)
+        assert outbound_peer.encryption_key != outbound_local.encryption_key
+
+    def test_fig12_log_lines(self):
+        alice, bob = make_daemons()
+        alice.establish_phase1(bob)
+        alice.negotiate_phase2(bob, AES_POLICY)
+        log = "\n".join(alice.log_lines + bob.log_lines)
+        assert "phase 2 negotiation" in log
+        assert "QPFS encmodesv 1" in log
+        assert f"Qblocks {QBLOCK_BITS} bits" in log
+        assert "KEYMAT using 128 bytes QBITS" in log
+        assert "IPsec-SA established: ESP/Tunnel" in log
+
+    def test_otp_negotiation_builds_pads(self):
+        alice_pool, bob_pool = synced_pools()
+        alice, bob = make_daemons(alice_pool, bob_pool)
+        alice.establish_phase1(bob)
+        outbound, inbound = alice.negotiate_phase2(bob, OTP_POLICY)
+        assert outbound.pad is not None and inbound.pad is not None
+        assert outbound.pad.available_bytes > 0
+        # The two directions' pads must be disjoint key material.
+        assert outbound.pad.peek(8) != inbound.pad.peek(8)
+        assert alice_pool.available_bits == bob_pool.available_bits
+
+    def test_timeout_when_key_accumulates_too_slowly(self):
+        alice_pool = KeyPool(name="alice")
+        bob_pool = KeyPool(name="bob")
+        alice, bob = make_daemons(alice_pool, bob_pool, phase2_timeout_seconds=5.0)
+        alice.establish_phase1(bob)
+        with pytest.raises(NegotiationTimeout):
+            alice.negotiate_phase2(bob, AES_POLICY, qkd_wait_rate_bps=10.0)
+        assert alice.negotiations[-1].timed_out
+
+    def test_fast_key_supply_avoids_timeout(self):
+        alice_pool = KeyPool(name="alice")
+        bob_pool = KeyPool(name="bob")
+        shared = BitString.random(QBLOCK_BITS, DeterministicRNG(70))
+        alice_pool.add_bits(shared)
+        bob_pool.add_bits(shared)
+        alice, bob = make_daemons(alice_pool, bob_pool)
+        alice.establish_phase1(bob)
+        # Enough key is already on hand: no waiting needed.
+        alice.negotiate_phase2(bob, AES_POLICY, qkd_wait_rate_bps=0.0)
+
+    def test_classical_suite_uses_no_qkd(self):
+        alice_pool, bob_pool = synced_pools()
+        alice, bob = make_daemons(alice_pool, bob_pool)
+        alice.establish_phase1(bob)
+        classical = SecurityPolicy(
+            "legacy", "10.9.0.0/16", "10.8.0.0/16", cipher_suite=CipherSuite.AES_CLASSICAL
+        )
+        before = alice_pool.available_bits
+        alice.negotiate_phase2(bob, classical)
+        assert alice_pool.available_bits == before
+        assert alice.qkd_bits_consumed == 0
+
+
+class TestEspProcessor:
+    def _sa_pair(self, suite=CipherSuite.AES_QKD_RESEED):
+        pad_material = bytes(range(256)) * 8
+        sender_pad = OneTimePad(pad_material) if suite is CipherSuite.ONE_TIME_PAD else None
+        receiver_pad = OneTimePad(pad_material) if suite is CipherSuite.ONE_TIME_PAD else None
+        common = dict(
+            spi=0x300,
+            source_gateway="a",
+            destination_gateway="b",
+            cipher_suite=suite,
+            encryption_key=bytes(range(16)),
+            authentication_key=bytes(range(20)),
+            lifetime_seconds=60.0,
+        )
+        return (
+            SecurityAssociation(pad=sender_pad, **common),
+            SecurityAssociation(pad=receiver_pad, **common),
+        )
+
+    def test_aes_roundtrip(self):
+        esp = EspProcessor(DeterministicRNG(3))
+        sender_sa, receiver_sa = self._sa_pair()
+        packet = IPPacket("10.1.0.1", "10.2.0.1", b"hello", protocol="udp", identifier=5)
+        wire = esp.encapsulate(packet, sender_sa, "1.1.1.1", "2.2.2.2")
+        restored = esp.decapsulate(wire, receiver_sa)
+        assert restored.payload == packet.payload
+        assert restored.source == packet.source
+        assert restored.protocol == "udp"
+
+    def test_otp_roundtrip(self):
+        esp = EspProcessor(DeterministicRNG(4))
+        sender_sa, receiver_sa = self._sa_pair(CipherSuite.ONE_TIME_PAD)
+        packet = IPPacket("10.3.0.1", "10.4.0.1", b"top secret")
+        wire = esp.encapsulate(packet, sender_sa, "1.1.1.1", "2.2.2.2")
+        assert wire.iv == b""
+        assert esp.decapsulate(wire, receiver_sa).payload == b"top secret"
+
+    def test_ciphertext_hides_plaintext(self):
+        esp = EspProcessor(DeterministicRNG(5))
+        sender_sa, _ = self._sa_pair()
+        wire = esp.encapsulate(IPPacket("10.1.0.1", "10.2.0.1", b"A" * 64), sender_sa, "1.1.1.1", "2.2.2.2")
+        assert b"A" * 16 not in wire.ciphertext
+
+    def test_corrupted_packet_rejected(self):
+        esp = EspProcessor(DeterministicRNG(6))
+        sender_sa, receiver_sa = self._sa_pair()
+        wire = esp.encapsulate(IPPacket("10.1.0.1", "10.2.0.1", b"data"), sender_sa, "1.1.1.1", "2.2.2.2")
+        wire.ciphertext = b"\x00" + wire.ciphertext[1:]
+        with pytest.raises(EspError):
+            esp.decapsulate(wire, receiver_sa)
+        assert esp.authentication_failures == 1
+
+    def test_wrong_key_rejected(self):
+        esp = EspProcessor(DeterministicRNG(7))
+        sender_sa, receiver_sa = self._sa_pair()
+        receiver_sa.authentication_key = bytes(20)
+        wire = esp.encapsulate(IPPacket("10.1.0.1", "10.2.0.1", b"data"), sender_sa, "1.1.1.1", "2.2.2.2")
+        with pytest.raises(EspError):
+            esp.decapsulate(wire, receiver_sa)
+
+    def test_replay_rejected(self):
+        esp = EspProcessor(DeterministicRNG(8))
+        sender_sa, receiver_sa = self._sa_pair()
+        wire = esp.encapsulate(IPPacket("10.1.0.1", "10.2.0.1", b"data"), sender_sa, "1.1.1.1", "2.2.2.2")
+        esp.decapsulate(wire, receiver_sa)
+        with pytest.raises(EspError):
+            esp.decapsulate(wire, receiver_sa)
+        assert esp.replay_rejections == 1
+
+    def test_pad_exhaustion_raises(self):
+        esp = EspProcessor(DeterministicRNG(9))
+        sender_sa, _ = self._sa_pair(CipherSuite.ONE_TIME_PAD)
+        sender_sa.pad = OneTimePad(bytes(4))
+        with pytest.raises(EspError):
+            esp.encapsulate(IPPacket("10.3.0.1", "10.4.0.1", b"much too long"), sender_sa, "1.1.1.1", "2.2.2.2")
+
+
+class TestGatewayPair:
+    def _pair(self, key_bits=80_000):
+        alice_pool, bob_pool = synced_pools(key_bits, seed=80)
+        clock = SimClock()
+        pair = GatewayPair(alice_pool, bob_pool, clock, DeterministicRNG(81))
+        pair.add_symmetric_policy(AES_POLICY)
+        pair.add_symmetric_policy(OTP_POLICY)
+        pair.establish()
+        return pair, clock
+
+    def test_bidirectional_traffic(self):
+        pair, _ = self._pair()
+        assert pair.transmit(IPPacket("10.1.0.1", "10.2.0.1", b"to bob")).payload == b"to bob"
+        assert pair.transmit(
+            IPPacket("10.2.0.1", "10.1.0.1", b"to alice"), from_alice=False
+        ).payload == b"to alice"
+
+    def test_policy_actions(self):
+        pair, _ = self._pair()
+        pair.alice.add_policy(
+            SecurityPolicy("drop", "172.16.0.0/16", "172.17.0.0/16", action=PolicyAction.DISCARD)
+        )
+        assert pair.alice.send(IPPacket("172.16.0.1", "172.17.0.1", b"nope")) is None
+        assert pair.alice.statistics.packets_discarded == 1
+        # No policy at all is also a discard.
+        assert pair.alice.send(IPPacket("8.8.8.8", "9.9.9.9", b"nope")) is None
+
+    def test_rollover_after_lifetime(self):
+        pair, clock = self._pair()
+        pair.transmit(IPPacket("10.1.0.1", "10.2.0.1", b"first"))
+        negotiations_before = pair.alice.statistics.negotiations
+        clock.advance(61.0)
+        delivered = pair.transmit(IPPacket("10.1.0.1", "10.2.0.1", b"after rollover"))
+        assert delivered.payload == b"after rollover"
+        assert pair.alice.statistics.negotiations == negotiations_before + 1
+
+    def test_each_rekey_consumes_fresh_qkd_bits(self):
+        pair, clock = self._pair()
+        consumed = []
+        for _ in range(3):
+            pair.transmit(IPPacket("10.1.0.1", "10.2.0.1", b"tick"))
+            consumed.append(pair.alice.ike.qkd_bits_consumed)
+            clock.advance(61.0)
+        assert consumed[2] > consumed[1] > consumed[0]
+
+    def test_otp_tunnel_roundtrip_and_key_use(self):
+        pair, _ = self._pair()
+        pool_before = pair.alice.key_pool.available_bits
+        delivered = pair.transmit(IPPacket("10.3.0.1", "10.4.0.1", b"pad-protected"))
+        assert delivered.payload == b"pad-protected"
+        assert pair.alice.key_pool.available_bits <= pool_before - OTP_POLICY.qkd_bits_per_rekey
+
+    def test_key_exhaustion_blocks_negotiation(self):
+        pair, clock = self._pair(key_bits=1536)  # enough for one rekey only
+        pair.transmit(IPPacket("10.1.0.1", "10.2.0.1", b"ok"))
+        clock.advance(61.0)
+        with pytest.raises(NegotiationTimeout):
+            pair.transmit(IPPacket("10.1.0.1", "10.2.0.1", b"starved"))
+        assert pair.alice.statistics.negotiation_failures >= 1
+
+    def test_combined_log_contains_both_gateways(self):
+        pair, _ = self._pair()
+        pair.transmit(IPPacket("10.1.0.1", "10.2.0.1", b"x"))
+        log = "\n".join(pair.combined_log)
+        assert "alice-gw racoon" in log
+        assert "bob-gw racoon" in log

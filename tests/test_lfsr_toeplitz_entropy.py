@@ -1,0 +1,213 @@
+"""Tests for LFSRs, Toeplitz hashing and the entropy math helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mathkit.entropy import (
+    binary_entropy,
+    binary_entropy_inverse,
+    binomial_stddev,
+    combine_stddevs,
+    eavesdropping_failure_probability,
+    observed_rate_stddev,
+    renyi_collision_entropy_rate,
+)
+from repro.mathkit.lfsr import LFSR, lfsr_subset_mask, subset_indices_from_seed
+from repro.mathkit.toeplitz import ToeplitzHash
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+class TestLFSR:
+    def test_deterministic_for_seed(self):
+        assert LFSR(0xDEADBEEF).bits(128) == LFSR(0xDEADBEEF).bits(128)
+
+    def test_different_seeds_differ(self):
+        assert LFSR(1).bits(128) != LFSR(2).bits(128)
+
+    def test_zero_seed_is_remapped(self):
+        register = LFSR(0)
+        assert register.state != 0
+        # and it still produces a non-degenerate stream
+        stream = register.bits(64)
+        assert 0 < stream.popcount() < 64
+
+    def test_reset(self):
+        register = LFSR(1234)
+        first = register.bits(40)
+        register.reset()
+        assert register.bits(40) == first
+
+    def test_output_is_balanced(self):
+        stream = LFSR(0xACE1).bits(10_000)
+        assert abs(stream.balance() - 0.5) < 0.03
+
+    def test_long_period(self):
+        # A maximal 32-bit LFSR must not repeat within any practical window.
+        assert LFSR(0x1234).period_lower_bound(limit=100_000) == 100_000
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            LFSR(1, width=0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(1).bits(-1)
+
+
+class TestSubsetMask:
+    def test_both_sides_agree_from_seed(self):
+        assert lfsr_subset_mask(0xABCD, 500) == lfsr_subset_mask(0xABCD, 500)
+
+    def test_density_default_half(self):
+        mask = lfsr_subset_mask(99, 4000)
+        assert abs(mask.balance() - 0.5) < 0.05
+
+    def test_density_sparse(self):
+        mask = lfsr_subset_mask(7, 4000, density=0.1)
+        assert 0.05 < mask.balance() < 0.16
+
+    def test_density_bounds(self):
+        with pytest.raises(ValueError):
+            lfsr_subset_mask(1, 10, density=0.0)
+        with pytest.raises(ValueError):
+            lfsr_subset_mask(1, 10, density=1.5)
+
+    def test_indices_match_mask(self):
+        mask = lfsr_subset_mask(42, 100)
+        indices = subset_indices_from_seed(42, 100)
+        assert indices == [i for i, bit in enumerate(mask) if bit]
+
+    def test_zero_length(self):
+        assert len(lfsr_subset_mask(1, 0)) == 0
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25)
+    def test_mask_length_property(self, seed):
+        assert len(lfsr_subset_mask(seed, 137)) == 137
+
+
+class TestToeplitz:
+    def test_shape_validation(self):
+        rng = DeterministicRNG(1)
+        with pytest.raises(ValueError):
+            ToeplitzHash(BitString.random(10, rng), input_bits=8, output_bits=4)
+        with pytest.raises(ValueError):
+            ToeplitzHash(BitString.random(11, rng), input_bits=0, output_bits=4)
+
+    def test_seed_length(self):
+        rng = DeterministicRNG(2)
+        hasher = ToeplitzHash.random(64, 16, rng)
+        assert hasher.seed_length() == 64 + 16 - 1
+
+    def test_output_length(self):
+        rng = DeterministicRNG(3)
+        hasher = ToeplitzHash.random(64, 16, rng)
+        assert len(hasher.hash(BitString.random(64, rng))) == 16
+
+    def test_input_length_enforced(self):
+        rng = DeterministicRNG(4)
+        hasher = ToeplitzHash.random(32, 8, rng)
+        with pytest.raises(ValueError):
+            hasher.hash(BitString.random(31, rng))
+
+    def test_same_seed_same_function(self):
+        rng = DeterministicRNG(5)
+        seed = BitString.random(47, rng)
+        h1 = ToeplitzHash.from_seed_bits(seed, 32, 16)
+        h2 = ToeplitzHash.from_seed_bits(seed, 32, 16)
+        key = BitString.random(32, rng)
+        assert h1.hash(key) == h2.hash(key)
+
+    def test_matrix_structure_is_toeplitz(self):
+        rng = DeterministicRNG(6)
+        hasher = ToeplitzHash.random(8, 4, rng)
+        rows = hasher.matrix_rows()
+        # constant along diagonals: M[i][j] == M[i+1][j+1]
+        for i in range(3):
+            for j in range(7):
+                assert rows[i][j] == rows[i + 1][j + 1]
+
+    def test_linearity(self):
+        rng = DeterministicRNG(7)
+        hasher = ToeplitzHash.random(64, 16, rng)
+        a = BitString.random(64, rng)
+        b = BitString.random(64, rng)
+        assert hasher.hash(a ^ b) == hasher.hash(a) ^ hasher.hash(b)
+
+    def test_collision_rate_is_near_universal(self):
+        """Random distinct inputs collide at roughly 2^-m under a random member."""
+        rng = DeterministicRNG(8)
+        output_bits = 8
+        hasher = ToeplitzHash.random(32, output_bits, rng)
+        collisions = 0
+        trials = 2000
+        for _ in range(trials):
+            a = BitString.random(32, rng)
+            b = BitString.random(32, rng)
+            if a != b and hasher.hash(a) == hasher.hash(b):
+                collisions += 1
+        expected = trials * (2 ** -output_bits)
+        assert collisions <= expected * 4 + 5
+
+
+class TestEntropyMath:
+    def test_binary_entropy_endpoints(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_binary_entropy_symmetry(self):
+        for p in (0.01, 0.1, 0.3):
+            assert binary_entropy(p) == pytest.approx(binary_entropy(1 - p))
+
+    def test_binary_entropy_domain(self):
+        with pytest.raises(ValueError):
+            binary_entropy(-0.1)
+        with pytest.raises(ValueError):
+            binary_entropy(1.1)
+
+    def test_binary_entropy_inverse(self):
+        for h in (0.0, 0.2, 0.5, 0.8, 1.0):
+            p = binary_entropy_inverse(h)
+            assert binary_entropy(p) == pytest.approx(h, abs=1e-6)
+            assert 0.0 <= p <= 0.5
+
+    def test_renyi_rate(self):
+        assert renyi_collision_entropy_rate(0.0) == pytest.approx(1.0)
+        assert renyi_collision_entropy_rate(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert renyi_collision_entropy_rate(0.1) < 1.0
+
+    def test_renyi_rate_domain(self):
+        with pytest.raises(ValueError):
+            renyi_collision_entropy_rate(-0.01)
+
+    def test_binomial_stddev(self):
+        assert binomial_stddev(100, 0.5) == pytest.approx(5.0)
+        assert binomial_stddev(0, 0.5) == 0.0
+        with pytest.raises(ValueError):
+            binomial_stddev(-1, 0.5)
+
+    def test_observed_rate_stddev(self):
+        assert observed_rate_stddev(50, 100) == pytest.approx(0.05)
+        assert observed_rate_stddev(0, 0) == 0.0
+
+    def test_combine_stddevs(self):
+        assert combine_stddevs([3.0, 4.0]) == pytest.approx(5.0)
+        assert combine_stddevs([]) == 0.0
+
+    def test_eavesdropping_failure_probability(self):
+        # The paper: c = 5 means "about 10^-6 chance of successful eavesdropping".
+        p5 = eavesdropping_failure_probability(5.0)
+        assert 1e-8 < p5 < 1e-5
+        assert eavesdropping_failure_probability(0.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            eavesdropping_failure_probability(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=50)
+    def test_entropy_monotone_on_half_interval(self, p):
+        smaller = max(p - 0.05, 0.0)
+        assert binary_entropy(smaller) <= binary_entropy(p) + 1e-12

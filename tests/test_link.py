@@ -1,0 +1,114 @@
+"""Integration tests for the assembled QKD link."""
+
+import pytest
+
+from repro.core.engine import EngineParameters
+from repro.core.entropy_estimation import SlutskyDefense
+from repro.eve import InterceptResendAttack
+from repro.link import LinkParameters, QKDLink
+from repro.util.rng import DeterministicRNG
+
+
+@pytest.fixture(scope="module")
+def paper_link_report():
+    """One shared 1.5-second run of the paper's link (module-scoped for speed)."""
+    link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(101), name="it-link")
+    report = link.run_seconds(1.5)
+    return link, report
+
+
+class TestLinkParameters:
+    def test_paper_link_defaults(self):
+        params = LinkParameters.paper_link()
+        assert params.channel.path.length_km == pytest.approx(10.0)
+        assert params.engine.defense == "bennett"
+
+    def test_for_distance(self):
+        assert LinkParameters.for_distance(42.0).channel.path.length_km == 42.0
+
+
+class TestAnalyticModel:
+    def test_expected_qber_in_paper_band(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(1))
+        assert 0.06 <= link.expected_qber() <= 0.08
+
+    def test_sifted_rate_scale(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(2))
+        assert 500 <= link.sifted_rate_bps() <= 5000
+
+    def test_secret_fraction_positive_at_operating_point(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(3))
+        assert link.estimated_secret_fraction() > 0.05
+
+    def test_secret_rate_decreases_with_distance(self):
+        rates = [
+            QKDLink(LinkParameters.for_distance(d), DeterministicRNG(4)).estimated_secret_key_rate()
+            for d in (10, 30, 50)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_secret_rate_cuts_off_by_80km(self):
+        """The paper: fiber QKD tops out around 70 km; beyond that no key."""
+        far = QKDLink(LinkParameters.for_distance(80.0), DeterministicRNG(5))
+        assert far.estimated_secret_key_rate() == 0.0
+        near = QKDLink(LinkParameters.for_distance(10.0), DeterministicRNG(5))
+        assert near.estimated_secret_key_rate() > 50.0
+
+    def test_slutsky_analytic_more_conservative(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(6))
+        assert link.estimated_secret_fraction(defense=SlutskyDefense()) <= link.estimated_secret_fraction()
+
+
+class TestMonteCarloRun:
+    def test_run_produces_key(self, paper_link_report):
+        link, report = paper_link_report
+        assert report.sifted_bits > 1000
+        assert report.distilled_bits > 0
+        assert 0.04 < report.mean_qber < 0.10
+        assert report.blocks_distilled >= 1
+
+    def test_rates_consistent(self, paper_link_report):
+        _, report = paper_link_report
+        assert report.sifted_rate_bps == pytest.approx(report.sifted_bits / 1.5)
+        assert report.distilled_rate_bps == pytest.approx(report.distilled_bits / 1.5)
+        assert 0 < report.secret_fraction < 1
+
+    def test_endpoints_hold_identical_key(self, paper_link_report):
+        link, _ = paper_link_report
+        assert link.engine.keys_match
+
+    def test_measured_rate_below_analytic_bound(self, paper_link_report):
+        """Finite blocks and margins keep the measured rate under the asymptotic bound."""
+        link, report = paper_link_report
+        assert report.distilled_rate_bps <= link.estimated_secret_key_rate() * 1.2
+
+    def test_run_slots_validation(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(7))
+        with pytest.raises(ValueError):
+            link.run_slots(-1)
+        with pytest.raises(ValueError):
+            link.run_seconds(-1.0)
+
+    def test_zero_slots(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(8))
+        report = link.run_slots(0)
+        assert report.sifted_bits == 0
+        assert report.distilled_bits == 0
+
+
+class TestAttackedLink:
+    def test_attack_attach_detach(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(9))
+        attack = InterceptResendAttack(1.0)
+        link.attach_attack(attack)
+        assert link.attack is attack
+        link.detach_attack()
+        assert link.attack is None
+
+    def test_intercept_resend_kills_the_key(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(10))
+        link.attach_attack(InterceptResendAttack(1.0))
+        report = link.run_seconds(1.0)
+        assert report.mean_qber > 0.2
+        assert report.distilled_bits == 0
+        assert report.blocks_aborted >= 1

@@ -1,0 +1,103 @@
+"""Tests for the protocol message objects and the public-channel transcript."""
+
+import pytest
+
+from repro.core.messages import (
+    AuthenticationTagMessage,
+    CascadeBisectQuery,
+    CascadeBisectReply,
+    CascadeParityReply,
+    CascadeSubsetAnnouncement,
+    NaiveSiftMessage,
+    PrivacyAmplificationMessage,
+    PublicChannelLog,
+    SiftMessage,
+    SiftResponseMessage,
+)
+from repro.util.bits import BitString
+
+
+def sample_messages():
+    return [
+        SiftMessage(frame_id=1, n_slots=1000, detection_runs=[990, 1, 9], detected_bases=[0]),
+        SiftResponseMessage(frame_id=1, accept_mask=[1]),
+        CascadeSubsetAnnouncement(round_index=0, key_length=100, seeds=[1, 2], parities=[0, 1]),
+        CascadeParityReply(round_index=0, parities=[0, 0]),
+        CascadeBisectQuery(round_index=0, subset_index=1, indices=(1, 2, 3)),
+        CascadeBisectReply(round_index=0, subset_index=1, parity=1),
+        PrivacyAmplificationMessage(
+            output_bits=40, field_degree=64, polynomial_exponents=(11, 2, 1), multiplier=5, addend=3
+        ),
+        AuthenticationTagMessage(covered_messages=6, tag_bits=[1, 0, 1, 0]),
+    ]
+
+
+class TestEncoding:
+    def test_every_message_encodes_to_bytes(self):
+        for message in sample_messages():
+            encoded = message.encode()
+            assert isinstance(encoded, bytes)
+            assert len(encoded) > 0
+
+    def test_encoding_is_deterministic(self):
+        for message in sample_messages():
+            assert message.encode() == message.encode()
+
+    def test_encodings_are_distinct_across_kinds(self):
+        encodings = [m.encode() for m in sample_messages()]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_sift_message_size_accounting(self):
+        message = SiftMessage(frame_id=1, n_slots=1000, detection_runs=[990, 1, 9], detected_bases=[0])
+        assert message.size_bytes == len(message.encode())
+        assert message.uncompressed_bitmap_bytes == (1000 + 7) // 8 + 1
+
+    def test_naive_sift_message_size(self):
+        naive = NaiveSiftMessage(frame_id=1, n_slots=1000, detected_slots=[1, 500], detected_bases=[0, 1])
+        assert naive.size_bytes == len(naive.encode())
+
+    def test_content_changes_change_encoding(self):
+        a = CascadeParityReply(round_index=0, parities=[0, 1])
+        b = CascadeParityReply(round_index=0, parities=[1, 1])
+        assert a.encode() != b.encode()
+
+    def test_auth_tag_view(self):
+        message = AuthenticationTagMessage(covered_messages=3, tag_bits=[1, 0, 1])
+        assert message.tag == BitString([1, 0, 1])
+
+
+class TestPublicChannelLog:
+    def test_record_and_count(self):
+        log = PublicChannelLog()
+        for message in sample_messages():
+            log.record(message)
+        assert len(log) == len(sample_messages())
+
+    def test_total_bytes_is_sum_of_messages(self):
+        log = PublicChannelLog()
+        messages = sample_messages()
+        for message in messages:
+            log.record(message)
+        assert log.total_bytes == sum(len(m.encode()) for m in messages)
+
+    def test_messages_of_type(self):
+        log = PublicChannelLog()
+        for message in sample_messages():
+            log.record(message)
+        assert len(log.messages_of_type(SiftMessage)) == 1
+        assert len(log.messages_of_type(CascadeSubsetAnnouncement)) == 1
+        assert log.messages_of_type(dict) == []
+
+    def test_transcript_bytes_preserves_order(self):
+        log = PublicChannelLog()
+        first = SiftMessage(frame_id=1, n_slots=10, detection_runs=[10], detected_bases=[])
+        second = SiftResponseMessage(frame_id=1, accept_mask=[])
+        log.record(first)
+        log.record(second)
+        assert log.transcript_bytes() == first.encode() + second.encode()
+
+    def test_empty_log(self):
+        log = PublicChannelLog()
+        assert len(log) == 0
+        assert log.total_bytes == 0
+        assert log.transcript_bytes() == b""

@@ -1,0 +1,264 @@
+"""Tests for the QKD network layer: topology, routing, trusted relays, switches."""
+
+import pytest
+
+from repro.network.relay import TrustedRelayNetwork
+from repro.network.routing import PathSelector, RoutingError
+from repro.network.switches import UntrustedSwitchNetwork
+from repro.network.topology import NodeKind, QKDNetwork, interconnection_cost
+from repro.util.rng import DeterministicRNG
+
+
+@pytest.fixture
+def mesh():
+    return QKDNetwork.relay_mesh(n_endpoints=3, n_relays=4, rng=DeterministicRNG(1))
+
+
+class TestTopology:
+    def test_node_kinds(self, mesh):
+        kinds = {node.kind for node in mesh.nodes()}
+        assert NodeKind.ENDPOINT in kinds
+        assert NodeKind.TRUSTED_RELAY in kinds
+        assert len(mesh.endpoints()) == 3
+
+    def test_duplicate_node_rejected(self):
+        net = QKDNetwork()
+        net.add_endpoint("a")
+        with pytest.raises(ValueError):
+            net.add_endpoint("a")
+
+    def test_link_requires_known_nodes(self):
+        net = QKDNetwork()
+        net.add_endpoint("a")
+        with pytest.raises(KeyError):
+            net.add_link("a", "missing")
+
+    def test_links_carry_estimated_rates(self, mesh):
+        for edge in mesh.links():
+            assert edge.secret_key_rate_bps > 0
+            assert edge.usable
+
+    def test_longer_links_have_lower_rates(self):
+        net = QKDNetwork()
+        net.add_endpoint("a")
+        net.add_endpoint("b")
+        net.add_endpoint("c")
+        short = net.add_link("a", "b", 5.0)
+        long = net.add_link("b", "c", 40.0)
+        assert short.secret_key_rate_bps > long.secret_key_rate_bps
+
+    def test_cut_and_restore(self, mesh):
+        edge = mesh.links()[0]
+        mesh.cut_link(edge.node_a, edge.node_b)
+        assert not mesh.link(edge.node_a, edge.node_b).usable
+        mesh.restore_link(edge.node_a, edge.node_b)
+        assert mesh.link(edge.node_a, edge.node_b).usable
+
+    def test_mark_eavesdropped(self, mesh):
+        edge = mesh.links()[0]
+        mesh.mark_eavesdropped(edge.node_a, edge.node_b)
+        assert not mesh.link(edge.node_a, edge.node_b).usable
+        assert mesh.link(edge.node_a, edge.node_b).operational
+
+    def test_usable_subgraph_excludes_down_links(self, mesh):
+        total = mesh.graph.number_of_edges()
+        edge = mesh.links()[0]
+        mesh.cut_link(edge.node_a, edge.node_b)
+        assert mesh.usable_subgraph().number_of_edges() == total - 1
+
+    def test_fail_random_links(self, mesh):
+        failed = mesh.fail_random_links(2)
+        assert len(failed) == 2
+        assert all(not edge.operational for edge in failed)
+
+    def test_point_to_point_topology(self):
+        net = QKDNetwork.point_to_point(15.0)
+        assert net.graph.number_of_nodes() == 2
+        assert net.link("alice", "bob").length_km == 15.0
+
+    def test_interconnection_cost(self):
+        assert interconnection_cost(0) == {"pairwise_links": 0, "star_links": 0}
+        assert interconnection_cost(4) == {"pairwise_links": 6, "star_links": 4}
+        assert interconnection_cost(10)["pairwise_links"] == 45
+        with pytest.raises(ValueError):
+            interconnection_cost(-1)
+
+
+class TestRouting:
+    def test_find_path_endpoints(self, mesh):
+        selector = PathSelector(mesh)
+        path = selector.find_path("endpoint-0", "endpoint-1")
+        assert path[0] == "endpoint-0"
+        assert path[-1] == "endpoint-1"
+        assert len(path) >= 3  # must pass through at least one relay
+
+    def test_unknown_node(self, mesh):
+        with pytest.raises(RoutingError):
+            PathSelector(mesh).find_path("endpoint-0", "nowhere")
+
+    def test_metric_validation(self, mesh):
+        with pytest.raises(ValueError):
+            PathSelector(mesh, metric="banana")
+
+    def test_avoids_unusable_links(self, mesh):
+        selector = PathSelector(mesh)
+        path = selector.find_path("endpoint-0", "endpoint-1")
+        # Cut the relay-to-relay hop in the middle; the ring provides a detour
+        # (the endpoints' single access links, by contrast, have none).
+        cut = (path[1], path[2])
+        mesh.cut_link(*cut)
+        new_path = selector.find_path("endpoint-0", "endpoint-1")
+        hops = list(zip(new_path, new_path[1:]))
+        assert cut not in hops and tuple(reversed(cut)) not in hops
+
+    def test_no_path_raises(self):
+        net = QKDNetwork.point_to_point()
+        net.cut_link("alice", "bob")
+        selector = PathSelector(net)
+        with pytest.raises(RoutingError):
+            selector.find_path("alice", "bob")
+        assert not selector.path_exists("alice", "bob")
+
+    def test_path_metrics(self, mesh):
+        selector = PathSelector(mesh)
+        path = selector.find_path("endpoint-0", "endpoint-1")
+        assert selector.path_length_km(path) == pytest.approx(10.0 * (len(path) - 1))
+        assert selector.bottleneck_rate_bps(path) > 0
+        assert selector.relays_on_path(path) == path[1:-1]
+
+    def test_disjoint_paths_in_mesh(self, mesh):
+        selector = PathSelector(mesh)
+        paths = selector.disjoint_paths("relay-0", "relay-2")
+        assert len(paths) >= 2  # the ring plus chords provides redundancy
+
+    def test_length_metric_prefers_shorter_fiber(self):
+        net = QKDNetwork()
+        for name in ("a", "b", "c"):
+            net.add_endpoint(name)
+        net.add_link("a", "b", 50.0)
+        net.add_link("a", "c", 5.0)
+        net.add_link("c", "b", 5.0)
+        by_hops = PathSelector(net, metric="hops").find_path("a", "b")
+        by_length = PathSelector(net, metric="length").find_path("a", "b")
+        assert by_hops == ["a", "b"]
+        assert by_length == ["a", "c", "b"]
+
+
+class TestTrustedRelay:
+    def _loaded(self, mesh, seconds=60.0):
+        relay = TrustedRelayNetwork(mesh, DeterministicRNG(5))
+        relay.run_links_for(seconds)
+        return relay
+
+    def test_transport_succeeds_with_key(self, mesh):
+        relay = self._loaded(mesh)
+        result = relay.transport_key("endpoint-0", "endpoint-1", 256)
+        assert result.success
+        assert result.key is not None and len(result.key) == 256
+        assert result.pad_bits_consumed == 256 * (len(result.path) - 1)
+
+    def test_relays_exposed_are_exactly_the_intermediate_relays(self, mesh):
+        relay = self._loaded(mesh)
+        result = relay.transport_key("endpoint-0", "endpoint-2", 128)
+        assert result.success
+        expected = [n for n in result.path[1:-1] if mesh.node(n).kind is NodeKind.TRUSTED_RELAY]
+        assert result.relays_exposed == expected
+        assert len(result.relays_exposed) >= 1
+
+    def test_transport_fails_without_pairwise_key(self, mesh):
+        relay = TrustedRelayNetwork(mesh, DeterministicRNG(6))  # pools never filled
+        result = relay.transport_key("endpoint-0", "endpoint-1", 256)
+        assert not result.success
+        assert "exhausted" in result.failure_reason
+        assert result.failed_hop is not None
+
+    def test_pairwise_key_consumed(self, mesh):
+        relay = self._loaded(mesh)
+        result = relay.transport_key("endpoint-0", "endpoint-1", 256)
+        hop = (result.path[0], result.path[1])
+        before = relay.pairwise_key_available_bits(*hop)
+        relay.transport_key("endpoint-0", "endpoint-1", 256)
+        assert relay.pairwise_key_available_bits(*hop) == before - 256
+
+    def test_reroute_after_fiber_cut(self, mesh):
+        relay = self._loaded(mesh)
+        first = relay.transport_key("endpoint-0", "endpoint-1", 128)
+        mesh.cut_link(first.path[1], first.path[2])
+        second = relay.transport_with_reroute("endpoint-0", "endpoint-1", 128)
+        assert second.success
+        assert second.path != first.path
+
+    def test_point_to_point_has_no_fallback(self):
+        net = QKDNetwork.point_to_point()
+        relay = TrustedRelayNetwork(net, DeterministicRNG(7))
+        relay.run_links_for(60.0)
+        net.cut_link("alice", "bob")
+        result = relay.transport_with_reroute("alice", "bob", 128)
+        assert not result.success
+
+    def test_delivery_availability(self, mesh):
+        relay = self._loaded(mesh, seconds=120.0)
+        availability = relay.delivery_availability("endpoint-0", "endpoint-1", trials=5, key_bits=64)
+        assert availability == 1.0
+
+    def test_key_length_validation(self, mesh):
+        relay = self._loaded(mesh)
+        with pytest.raises(ValueError):
+            relay.transport_key("endpoint-0", "endpoint-1", 100)  # not a multiple of 8
+        with pytest.raises(ValueError):
+            relay.transport_key("endpoint-0", "endpoint-1", 0)
+
+
+class TestUntrustedSwitches:
+    def test_chain_loss_budget(self):
+        report = UntrustedSwitchNetwork.chain(2, span_length_km=5.0, switch_insertion_loss_db=0.5)
+        assert report.n_switches == 2
+        assert report.fiber_length_km == pytest.approx(15.0)
+        assert report.total_loss_db == pytest.approx(15.0 * 0.2 + 2 * 0.5)
+
+    def test_more_switches_less_key(self):
+        rates = [
+            UntrustedSwitchNetwork.chain(k, span_length_km=5.0).secret_key_rate_bps
+            for k in range(5)
+        ]
+        assert all(earlier > later for earlier, later in zip(rates, rates[1:]))
+
+    def test_switches_reduce_reach(self):
+        """Same total fiber, more switches -> lower rate (the paper's key point)."""
+        direct = UntrustedSwitchNetwork.chain(0, span_length_km=30.0)
+        switched = UntrustedSwitchNetwork.chain(2, span_length_km=10.0)
+        assert direct.fiber_length_km == switched.fiber_length_km
+        assert switched.secret_key_rate_bps < direct.secret_key_rate_bps
+
+    def test_eventually_no_key(self):
+        report = UntrustedSwitchNetwork.chain(10, span_length_km=10.0, switch_insertion_loss_db=1.0)
+        assert not report.viable
+
+    def test_route_evaluation_over_topology(self):
+        net = QKDNetwork()
+        net.add_endpoint("src")
+        net.add_switch("sw1")
+        net.add_switch("sw2")
+        net.add_endpoint("dst")
+        net.add_link("src", "sw1", 5.0)
+        net.add_link("sw1", "sw2", 5.0)
+        net.add_link("sw2", "dst", 5.0)
+        switched = UntrustedSwitchNetwork(net)
+        report = switched.evaluate_route("src", "dst")
+        assert report.n_switches == 2
+        assert report.path == ["src", "sw1", "sw2", "dst"]
+
+    def test_trusted_relay_on_optical_path_rejected(self):
+        net = QKDNetwork()
+        net.add_endpoint("src")
+        net.add_relay("relay")
+        net.add_endpoint("dst")
+        net.add_link("src", "relay", 5.0)
+        net.add_link("relay", "dst", 5.0)
+        switched = UntrustedSwitchNetwork(net)
+        with pytest.raises(ValueError):
+            switched.evaluate_path(["src", "relay", "dst"])
+
+    def test_insertion_loss_validation(self):
+        with pytest.raises(ValueError):
+            UntrustedSwitchNetwork(QKDNetwork(), switch_insertion_loss_db=-1.0)

@@ -1,0 +1,292 @@
+"""Tests for the physical layer: sources, fiber, interferometers, detectors, framing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optics.detector import DetectorParameters, GatedAPDPair
+from repro.optics.entangled import EntangledPairSource, EntangledSourceParameters
+from repro.optics.fiber import FiberSpan, LossElement, OpticalPath, path_through_switches
+from repro.optics.interferometer import InterferometerParameters, MachZehnderPair
+from repro.optics.source import SourceParameters, WeakCoherentSource
+from repro.optics.timing import BrightPulseFraming, FramingParameters
+from repro.util.rng import DeterministicRNG
+
+
+class TestSourceParameters:
+    def test_defaults_match_paper(self):
+        params = SourceParameters()
+        assert params.mean_photon_number == pytest.approx(0.1)
+        assert params.pulse_rate_hz == pytest.approx(1.0e6)
+        assert params.wavelength_nm == pytest.approx(1550.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourceParameters(mean_photon_number=-0.1)
+        with pytest.raises(ValueError):
+            SourceParameters(pulse_rate_hz=0)
+
+    def test_multi_photon_probability(self):
+        params = SourceParameters(mean_photon_number=0.1)
+        assert params.multi_photon_probability == pytest.approx(
+            1 - math.exp(-0.1) - 0.1 * math.exp(-0.1)
+        )
+        assert params.non_empty_probability > params.multi_photon_probability
+
+
+class TestWeakCoherentSource:
+    def test_emit_shapes_and_ranges(self):
+        source = WeakCoherentSource(rng=DeterministicRNG(1))
+        emission = source.emit(10_000)
+        assert emission["basis"].shape == (10_000,)
+        assert set(np.unique(emission["basis"])) <= {0, 1}
+        assert set(np.unique(emission["value"])) <= {0, 1}
+        assert emission["photons"].min() >= 0
+
+    def test_emit_zero_and_negative(self):
+        source = WeakCoherentSource(rng=DeterministicRNG(1))
+        assert source.emit(0)["basis"].shape == (0,)
+        with pytest.raises(ValueError):
+            source.emit(-1)
+
+    def test_phase_encoding_matches_bb84(self):
+        source = WeakCoherentSource(rng=DeterministicRNG(2))
+        emission = source.emit(5_000)
+        expected = emission["basis"] * (math.pi / 2) + emission["value"] * math.pi
+        assert np.allclose(emission["phase"], expected)
+
+    def test_photon_statistics_are_poissonian(self):
+        source = WeakCoherentSource(SourceParameters(mean_photon_number=0.1), DeterministicRNG(3))
+        photons = source.emit(200_000)["photons"]
+        assert photons.mean() == pytest.approx(0.1, abs=0.01)
+        multi_fraction = np.count_nonzero(photons >= 2) / photons.size
+        assert multi_fraction == pytest.approx(SourceParameters().multi_photon_probability, abs=0.002)
+
+    def test_basis_and_value_are_balanced(self):
+        source = WeakCoherentSource(rng=DeterministicRNG(4))
+        emission = source.emit(100_000)
+        assert emission["basis"].mean() == pytest.approx(0.5, abs=0.01)
+        assert emission["value"].mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_emission_duration(self):
+        source = WeakCoherentSource(rng=DeterministicRNG(5))
+        assert source.emission_duration_seconds(1_000_000) == pytest.approx(1.0)
+
+
+class TestEntangledSource:
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            EntangledSourceParameters(mean_pairs_per_pulse=-1)
+        with pytest.raises(ValueError):
+            EntangledSourceParameters(heralding_efficiency=1.5)
+
+    def test_emission_fields(self):
+        source = EntangledPairSource(rng=DeterministicRNG(1))
+        emission = source.emit(50_000)
+        assert emission["pairs"].min() >= 0
+        # heralded implies at least one pair
+        assert not np.any(emission["heralded"] & (emission["pairs"] == 0))
+
+    def test_heralding_rate(self):
+        params = EntangledSourceParameters(mean_pairs_per_pulse=0.05, heralding_efficiency=0.6)
+        source = EntangledPairSource(params, DeterministicRNG(2))
+        emission = source.emit(200_000)
+        pair_fraction = np.count_nonzero(emission["pairs"] > 0) / emission["pairs"].size
+        herald_fraction = np.count_nonzero(emission["heralded"]) / emission["pairs"].size
+        assert herald_fraction == pytest.approx(pair_fraction * 0.6, rel=0.1)
+
+    def test_multi_pair_probability(self):
+        params = EntangledSourceParameters(mean_pairs_per_pulse=0.05)
+        assert 0 < params.multi_pair_probability < params.single_pair_probability
+
+
+class TestFiber:
+    def test_span_loss_and_transmittance(self):
+        span = FiberSpan(10.0)
+        assert span.loss_db == pytest.approx(2.0)
+        assert span.transmittance == pytest.approx(10 ** -0.2)
+
+    def test_connector_loss_adds(self):
+        assert FiberSpan(10.0, connector_loss_db=1.0).loss_db == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FiberSpan(-1.0)
+        with pytest.raises(ValueError):
+            LossElement("bad", -0.5)
+
+    def test_optical_path_composition(self):
+        path = OpticalPath()
+        path.add_span(FiberSpan(10.0)).add_span(FiberSpan(5.0))
+        path.add_element(LossElement("switch", 0.5))
+        assert path.length_km == pytest.approx(15.0)
+        assert path.loss_db == pytest.approx(2.0 + 1.0 + 0.5)
+        assert path.transmittance == pytest.approx(10 ** (-3.5 / 10))
+
+    def test_single_span_constructor(self):
+        path = OpticalPath.single_span(10.0)
+        assert path.length_km == 10.0
+        assert len(path.spans) == 1
+
+    def test_path_through_switches(self):
+        path = path_through_switches([5.0, 5.0, 5.0], switch_insertion_loss_db=0.5)
+        assert path.length_km == pytest.approx(15.0)
+        assert len(path.elements) == 2
+        assert path.loss_db == pytest.approx(3.0 + 1.0)
+
+    def test_describe_mentions_total(self):
+        assert "total" in OpticalPath.single_span(10.0).describe()
+
+
+class TestInterferometer:
+    def test_intrinsic_error_rate(self):
+        assert InterferometerParameters(visibility=1.0).intrinsic_error_rate == 0.0
+        assert InterferometerParameters(visibility=0.9).intrinsic_error_rate == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterferometerParameters(visibility=1.5)
+        with pytest.raises(ValueError):
+            InterferometerParameters(phase_noise_rad=-0.1)
+
+    def test_ideal_interference_probabilities(self):
+        ideal = MachZehnderPair(InterferometerParameters(visibility=1.0))
+        # delta = 0 -> detector 0 (bit value 0)
+        assert ideal.detector1_probability(0.0, 0.0) == pytest.approx(0.0)
+        # delta = pi -> detector 1
+        assert ideal.detector1_probability(math.pi, 0.0) == pytest.approx(1.0)
+        # incompatible bases -> 50/50
+        assert ideal.detector1_probability(math.pi / 2, 0.0) == pytest.approx(0.5)
+        assert ideal.detector0_probability(math.pi / 2, 0.0) == pytest.approx(0.5)
+
+    def test_reduced_visibility_blurs_fringe(self):
+        real = MachZehnderPair(InterferometerParameters(visibility=0.9))
+        assert real.detector1_probability(0.0, 0.0) == pytest.approx(0.05)
+        assert real.detector1_probability(math.pi, 0.0) == pytest.approx(0.95)
+
+    def test_sampled_hits_follow_probabilities(self):
+        pair = MachZehnderPair(InterferometerParameters(visibility=0.9))
+        rng = np.random.default_rng(1)
+        n = 100_000
+        # Compatible bases, value 1 (phase pi): detector 1 should fire ~95%.
+        phases = np.full(n, math.pi)
+        bases = np.zeros(n, dtype=np.uint8)
+        hits = pair.sample_detector_hits(phases, bases, rng)
+        assert hits.mean() == pytest.approx(0.95, abs=0.01)
+
+    def test_incompatible_bases_random(self):
+        pair = MachZehnderPair(InterferometerParameters(visibility=0.95))
+        rng = np.random.default_rng(2)
+        n = 100_000
+        phases = np.full(n, math.pi / 2)  # basis 1, value 0 at Alice
+        bases = np.zeros(n, dtype=np.uint8)  # Bob in basis 0
+        hits = pair.sample_detector_hits(phases, bases, rng)
+        assert hits.mean() == pytest.approx(0.5, abs=0.01)
+
+
+class TestDetectors:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DetectorParameters(quantum_efficiency=1.5)
+        with pytest.raises(ValueError):
+            DetectorParameters(dark_count_probability=-0.1)
+        with pytest.raises(ValueError):
+            DetectorParameters(receiver_loss_db=-1)
+
+    def test_signal_detection_probability(self):
+        detectors = GatedAPDPair(DetectorParameters(quantum_efficiency=0.1, receiver_loss_db=0.0))
+        assert detectors.signal_detection_probability(0.0) == 0.0
+        p = detectors.signal_detection_probability(1.0)
+        assert p == pytest.approx(1 - math.exp(-0.1))
+
+    def test_dark_click_probability(self):
+        detectors = GatedAPDPair(DetectorParameters(dark_count_probability=1e-3))
+        assert detectors.dark_click_probability() == pytest.approx(1 - (1 - 1e-3) ** 2)
+
+    def test_no_photons_no_signal_clicks(self):
+        detectors = GatedAPDPair(DetectorParameters(dark_count_probability=0.0))
+        rng = np.random.default_rng(3)
+        photons = np.zeros(10_000, dtype=np.int64)
+        detector_choice = np.zeros(10_000, dtype=np.uint8)
+        clicks = detectors.sample_clicks(photons, detector_choice, rng)
+        assert not clicks["click"].any()
+
+    def test_click_rate_matches_analytic(self):
+        params = DetectorParameters(quantum_efficiency=0.1, dark_count_probability=0.0, receiver_loss_db=3.0)
+        detectors = GatedAPDPair(params)
+        rng = np.random.default_rng(4)
+        photons = np.ones(200_000, dtype=np.int64)
+        detector_choice = np.zeros(200_000, dtype=np.uint8)
+        clicks = detectors.sample_clicks(photons, detector_choice, rng)
+        expected = params.receiver_transmittance * params.quantum_efficiency
+        assert clicks["click"].mean() == pytest.approx(expected, rel=0.05)
+
+    def test_dark_only_flag(self):
+        detectors = GatedAPDPair(DetectorParameters(dark_count_probability=0.01))
+        rng = np.random.default_rng(5)
+        photons = np.zeros(100_000, dtype=np.int64)
+        detector_choice = np.zeros(100_000, dtype=np.uint8)
+        clicks = detectors.sample_clicks(photons, detector_choice, rng)
+        assert clicks["click"].sum() == clicks["dark_only"].sum()
+        assert clicks["click"].mean() == pytest.approx(detectors.dark_click_probability(), rel=0.1)
+
+    def test_double_clicks_require_both(self):
+        detectors = GatedAPDPair(DetectorParameters(dark_count_probability=0.5, quantum_efficiency=1.0, receiver_loss_db=0.0))
+        rng = np.random.default_rng(6)
+        photons = np.ones(10_000, dtype=np.int64)
+        detector_choice = np.zeros(10_000, dtype=np.uint8)
+        clicks = detectors.sample_clicks(photons, detector_choice, rng)
+        assert clicks["double"].any()
+        # every double is also a click
+        assert np.all(clicks["click"][clicks["double"]])
+
+    def test_afterpulsing_increases_clicks(self):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        photons = np.ones(100_000, dtype=np.int64)
+        choice = np.zeros(100_000, dtype=np.uint8)
+        quiet = GatedAPDPair(DetectorParameters(afterpulse_probability=0.0, dark_count_probability=0.0))
+        noisy = GatedAPDPair(DetectorParameters(afterpulse_probability=0.2, dark_count_probability=0.0))
+        base = quiet.sample_clicks(photons, choice, rng1)["click"].sum()
+        extra = noisy.sample_clicks(photons, choice, rng2)["click"].sum()
+        assert extra > base
+
+
+class TestFraming:
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            FramingParameters(slots_per_frame=0)
+        with pytest.raises(ValueError):
+            FramingParameters(frame_loss_probability=1.5)
+
+    def test_frame_allocation(self):
+        framing = BrightPulseFraming(FramingParameters(slots_per_frame=100), DeterministicRNG(1))
+        frames, slots, received = framing.allocate_frames(250)
+        assert frames[0] == 0 and frames[249] == 2
+        assert slots[0] == 0 and slots[105] == 5
+        assert received.shape == (250,)
+
+    def test_frame_numbers_advance_across_calls(self):
+        framing = BrightPulseFraming(FramingParameters(slots_per_frame=10), DeterministicRNG(2))
+        first, _, _ = framing.allocate_frames(25)
+        second, _, _ = framing.allocate_frames(25)
+        assert second[0] == first[-1] + 1
+
+    def test_no_loss_means_all_received(self):
+        framing = BrightPulseFraming(FramingParameters(frame_loss_probability=0.0), DeterministicRNG(3))
+        _, _, received = framing.allocate_frames(10_000)
+        assert received.all()
+
+    def test_total_loss_means_none_received(self):
+        framing = BrightPulseFraming(FramingParameters(frame_loss_probability=1.0), DeterministicRNG(4))
+        _, _, received = framing.allocate_frames(10_000)
+        assert not received.any()
+
+    def test_efficiency_factor(self):
+        assert BrightPulseFraming(FramingParameters(gate_misalignment_penalty=0.2)).efficiency_factor == pytest.approx(0.8)
+
+    def test_zero_slots(self):
+        framing = BrightPulseFraming(rng=DeterministicRNG(5))
+        frames, slots, received = framing.allocate_frames(0)
+        assert frames.shape == (0,) and received.shape == (0,)

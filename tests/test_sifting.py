@@ -1,0 +1,126 @@
+"""Tests for sifting and the run-length encoding of sift messages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sifting import (
+    SiftingProtocol,
+    run_length_decode,
+    run_length_encode,
+)
+
+
+class TestRunLengthEncoding:
+    def test_empty(self):
+        assert run_length_encode([]) == [0]
+        assert run_length_decode([0]) == []
+
+    def test_all_zeros(self):
+        assert run_length_encode([0, 0, 0, 0]) == [4]
+        assert run_length_decode([4]) == [0, 0, 0, 0]
+
+    def test_leading_detection(self):
+        flags = [1, 0, 0, 1]
+        runs = run_length_encode(flags)
+        assert runs[0] == 0  # empty leading zero-run
+        assert run_length_decode(runs) == flags
+
+    def test_alternating(self):
+        flags = [0, 1, 0, 1, 0]
+        assert run_length_decode(run_length_encode(flags)) == flags
+
+    def test_runs_sum_to_length(self):
+        flags = [0] * 100 + [1] + [0] * 50 + [1, 1]
+        assert sum(run_length_encode(flags)) == len(flags)
+
+    def test_decode_length_check(self):
+        with pytest.raises(ValueError):
+            run_length_decode([3], expected_length=4)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            run_length_decode([-1])
+
+    def test_sparse_detections_compress_well(self):
+        """The point of the encoding: rare detections -> few runs."""
+        flags = [0] * 10_000
+        for index in (5, 2000, 9000):
+            flags[index] = 1
+        runs = run_length_encode(flags)
+        assert len(runs) <= 2 * 3 + 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=300))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, flags):
+        assert run_length_decode(run_length_encode(flags), len(flags)) == flags
+
+
+class TestSiftingProtocol:
+    def test_sift_result_consistency(self, small_frame):
+        result = SiftingProtocol().sift(small_frame)
+        # Engine-side sift must agree exactly with the simulation's own mask.
+        assert result.n_sifted == small_frame.n_sifted
+        assert result.error_count == small_frame.n_sifted_errors
+        assert len(result.alice_key) == len(result.bob_key) == len(result.slot_indices)
+
+    def test_sifted_bits_match_channel_values(self, small_frame):
+        result = SiftingProtocol().sift(small_frame)
+        for position, slot in enumerate(result.slot_indices[:200]):
+            assert result.alice_key[position] == int(small_frame.alice_value[slot])
+            assert result.bob_key[position] == int(small_frame.bob_value[slot])
+            assert small_frame.alice_basis[slot] == small_frame.bob_basis[slot]
+
+    def test_qber_in_expected_band(self, small_frame):
+        result = SiftingProtocol().sift(small_frame)
+        assert 0.02 <= result.qber <= 0.13
+
+    def test_sifted_fraction_roughly_matches_paper_scale(self, small_frame):
+        """Detections are rare; sifting keeps roughly one slot in a few hundred."""
+        result = SiftingProtocol().sift(small_frame)
+        assert 1 / 2000 < result.sifted_fraction < 1 / 100
+
+    def test_sift_message_never_contains_values(self, small_frame):
+        """Sifting discloses slots and bases, never bit values."""
+        protocol = SiftingProtocol()
+        message = protocol.build_sift_message(small_frame)
+        encoded = message.encode().decode()
+        assert "value" not in encoded
+        # The response is only an accept mask.
+        response = protocol.build_sift_response(small_frame, message)
+        assert set(response.accept_mask) <= {0, 1}
+
+    def test_sift_message_run_lengths_cover_all_slots(self, small_frame):
+        message = SiftingProtocol().build_sift_message(small_frame)
+        assert sum(message.detection_runs) == small_frame.n_slots
+        assert len(message.detected_bases) == int(np.count_nonzero(small_frame.usable_clicks))
+
+    def test_rle_message_smaller_than_naive(self, small_frame):
+        protocol = SiftingProtocol()
+        rle = protocol.build_sift_message(small_frame)
+        naive = protocol.build_naive_sift_message(small_frame)
+        assert rle.size_bytes < naive.size_bytes
+
+    def test_accept_mask_accepts_only_matching_bases(self, small_frame):
+        protocol = SiftingProtocol()
+        message = protocol.build_sift_message(small_frame)
+        response = protocol.build_sift_response(small_frame, message)
+        accepted = sum(response.accept_mask)
+        assert accepted == small_frame.n_sifted
+        # Roughly half of the reported detections have matching bases.
+        reported = len(message.detected_bases)
+        if reported > 200:
+            assert 0.4 < accepted / reported < 0.6
+
+    def test_frame_id_propagates(self, small_frame):
+        protocol = SiftingProtocol(frame_id=17)
+        result = protocol.sift(small_frame)
+        assert result.sift_message.frame_id == 17
+        assert result.sift_response.frame_id == 17
+
+    def test_mismatched_bases_rejected_response(self, small_frame):
+        protocol = SiftingProtocol()
+        message = protocol.build_sift_message(small_frame)
+        message.detected_bases = message.detected_bases[:-1]
+        with pytest.raises(ValueError):
+            protocol.build_sift_response(small_frame, message)
