@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compose, instrument and customise the distillation pipeline.
+
+Three things the stage-based engine (repro.pipeline) makes possible without
+touching engine code:
+
+1. build complete systems from one config object via the `repro.api` facade;
+2. watch where the pipeline spends its time (per-stage telemetry);
+3. swap a registered stage — here the defense function, and then a
+   user-written stage that applies an extra safety haircut — purely through
+   configuration.
+
+Run:  python examples/custom_pipeline.py
+"""
+
+from repro import QKDSystem
+from repro.core.engine import EngineParameters, QKDProtocolEngine
+from repro.pipeline import (
+    DEFAULT_STAGE_PLAN,
+    PipelineStage,
+    create_stage,
+    register_stage,
+)
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+def noisy_pair(n, error_rate, seed):
+    rng = DeterministicRNG(seed)
+    alice = BitString.random(n, rng)
+    errors = rng.sample(range(n), int(round(error_rate * n)))
+    bob = alice.to_list()
+    for index in errors:
+        bob[index] ^= 1
+    return alice, BitString(bob)
+
+
+class ParanoidEntropyStage(PipelineStage):
+    """A user-defined stage: the stock estimate minus a 10 % safety haircut.
+
+    It wraps the registered ``entropy.estimate`` stage rather than
+    reimplementing it — stages compose like any other object.
+    """
+
+    name = "entropy.paranoid"
+
+    def __init__(self, services):
+        super().__init__(services)
+        self._inner = create_stage("entropy.estimate", services)
+
+    def run(self, ctx):
+        ctx = self._inner.run(ctx)
+        ctx.entropy.distillable_bits = int(ctx.entropy.distillable_bits * 0.9)
+        return ctx
+
+
+def main() -> None:
+    print("=== 1. whole systems from one config object ===")
+    report = QKDSystem(seed=2003).link().run_seconds(1.0)
+    print(f"  facade link:  {report.distilled_bits} bits distilled "
+          f"({report.mean_qber:.1%} QBER)")
+
+    print("\n=== 2. per-stage telemetry ===")
+    engine = QKDProtocolEngine(rng=DeterministicRNG(1))
+    for seed in range(4):
+        alice, bob = noisy_pair(2048, 0.06, seed + 10)
+        engine.distill_block(alice, bob, transmitted_pulses=500_000)
+    for timing in engine.pipeline.telemetry.summary():
+        share = timing.seconds / engine.pipeline.telemetry.total_seconds
+        print(f"  {timing.stage:20s} {timing.calls} calls  "
+              f"{timing.seconds * 1e3:8.2f} ms  {share:6.1%}")
+
+    print("\n=== 3. swapping stages through configuration ===")
+    register_stage("entropy.paranoid", ParanoidEntropyStage)
+    plans = {
+        "default (bennett)": None,
+        "slutsky defense": tuple(
+            "entropy.slutsky" if key == "entropy.estimate" else key
+            for key in DEFAULT_STAGE_PLAN
+        ),
+        "paranoid haircut": tuple(
+            "entropy.paranoid" if key == "entropy.estimate" else key
+            for key in DEFAULT_STAGE_PLAN
+        ),
+    }
+    alice, bob = noisy_pair(3072, 0.05, seed=42)
+    for label, plan in plans.items():
+        engine = QKDProtocolEngine(
+            EngineParameters(stages=plan), DeterministicRNG(99)
+        )
+        outcome = engine.distill_block(alice, bob, transmitted_pulses=800_000)
+        print(f"  {label:20s} -> {outcome.distilled_bits:4d} bits distilled")
+    print("\n  same engine code, three pipelines — that is the point.")
+
+
+if __name__ == "__main__":
+    main()

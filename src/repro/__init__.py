@@ -8,17 +8,34 @@ Pearson and Troxel as a pure-Python simulation and protocol library:
 * :mod:`repro.core` — the QKD protocol engine: sifting, Cascade error
   correction, entropy estimation (Bennett / Slutsky defense functions),
   privacy amplification and Wegman-Carter authentication.
+* :mod:`repro.pipeline` — the composable distillation pipeline: the paper's
+  Fig 9 stages as pluggable, registry-keyed components with telemetry.
 * :mod:`repro.eve` — eavesdropping attack models (intercept-resend,
   photon-number splitting, man-in-the-middle, denial of service).
 * :mod:`repro.link` — a full Alice/Bob QKD link producing distilled key.
 * :mod:`repro.ipsec` — IPsec/IKE with the paper's QKD extensions (continually
   reseeded AES keys and one-time-pad security associations).
 * :mod:`repro.network` — trusted-relay and untrusted-switch QKD networks.
+* :mod:`repro.api` — the top-level facade: :class:`~repro.api.QKDSystem`
+  assembles links, VPNs and relay meshes from one config object.
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every reproduced experiment.
+The quickest way in is the facade::
+
+    from repro import QKDSystem
+    report = QKDSystem(seed=2003).link().run_seconds(2.0)
+
+See ``docs/API.md`` for the stage protocol, the registry keys and the facade
+entry points, and ``ROADMAP.md`` for where the system is headed.
 """
+
+from repro.api import MeshSystem, QKDSystem, SystemConfig, VPNSystem
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "QKDSystem",
+    "SystemConfig",
+    "VPNSystem",
+    "MeshSystem",
+]

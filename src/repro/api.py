@@ -1,0 +1,338 @@
+"""Top-level facade: assemble whole QKD systems from one config object.
+
+The library's subsystems — the photonic layer (:mod:`repro.optics`), the
+distillation pipeline (:mod:`repro.pipeline` driving :mod:`repro.core`), the
+point-to-point link (:mod:`repro.link`), the QKD-keyed VPN gateways
+(:mod:`repro.ipsec`) and the relay networks (:mod:`repro.network`) — each
+expose their own constructors.  :class:`QKDSystem` composes them behind three
+fluent entry points:
+
+    >>> from repro import QKDSystem
+    >>> link = QKDSystem(seed=2003).link()              # a QKDLink
+    >>> report = link.run_seconds(2.0)
+
+    >>> vpn = QKDSystem(seed=42).vpn()                  # link + gateways
+    >>> vpn.secure_tunnel("enclave", "10.1.0.0/16", "10.2.0.0/16")
+    >>> delivered = vpn.send("10.1.0.9", "10.2.0.7", b"hello")
+
+    >>> mesh = QKDSystem(seed=7).mesh(n_relays=4)       # relay network
+    >>> result = mesh.transport_key("endpoint-0", "endpoint-1")
+
+Every knob lives in one :class:`SystemConfig`; builders accept keyword
+overrides, and ``with_*`` methods return derived systems so configurations
+chain fluently:
+
+    >>> base = QKDSystem(seed=1)
+    >>> slutsky = base.with_defense("slutsky").with_distance(20.0)
+
+Determinism: a system built from the same config always produces the same
+keys — ``QKDSystem(seed=s).link()`` is bit-for-bit the legacy
+``QKDLink(LinkParameters.paper_link(), rng=DeterministicRNG(s))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.engine import EngineParameters
+from repro.ipsec.gateway import GatewayPair
+from repro.ipsec.packets import IPPacket
+from repro.ipsec.spd import CipherSuite, SecurityPolicy
+from repro.link.qkd_link import LinkParameters, LinkReport, QKDLink
+from repro.network.relay import KeyTransportResult, TrustedRelayNetwork
+from repro.optics.channel import ChannelParameters
+from repro.sim.clock import SimClock
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass
+class SystemConfig:
+    """One config object covering every layer a :class:`QKDSystem` composes."""
+
+    #: Root seed; every component's RNG stream derives from it.
+    seed: int = 0
+    name: str = "qkd"
+
+    # ---- physical layer / link ---------------------------------------- #
+    distance_km: float = 10.0
+    entangled: bool = False
+    slots_per_batch: int = 500_000
+
+    # ---- distillation pipeline ---------------------------------------- #
+    defense: str = "bennett"
+    confidence_sigmas: float = 5.0
+    worst_case_multiphoton: bool = False
+    block_size_bits: int = 2048
+    abort_qber: float = 0.15
+    randomness_testing: bool = False
+    #: Stage-registry keys overriding the paper's default pipeline plan
+    #: (see :mod:`repro.pipeline`); ``None`` keeps the default.
+    stages: Optional[Tuple[str, ...]] = None
+
+    # ---- VPN assembly -------------------------------------------------- #
+    #: Channel-seconds of key distilled before the gateways come up.
+    distill_seconds: float = 3.0
+    #: Extra key bits credited to both pools at build time, modelling the
+    #: reservoir a long-running link has already accumulated (the paper's
+    #: link distills ~100 bits/s, so waiting for real Monte-Carlo key at
+    #: every VPN bring-up would dominate run time).  Set to 0 to run purely
+    #: on distilled key.
+    prefill_key_bits: int = 8192
+    rekey_seconds: float = 60.0
+    qkd_bits_per_rekey: int = 1024
+
+    # ---- mesh assembly ------------------------------------------------- #
+    n_endpoints: int = 3
+    n_relays: int = 4
+    mesh_link_km: float = 10.0
+    routing_metric: str = "hops"
+    #: Seconds of pairwise-key prefill every mesh link gets at build time.
+    prefill_seconds: float = 60.0
+
+    # ------------------------------------------------------------------ #
+
+    def engine_parameters(self) -> EngineParameters:
+        return EngineParameters(
+            defense=self.defense,
+            confidence_sigmas=self.confidence_sigmas,
+            worst_case_multiphoton=self.worst_case_multiphoton,
+            block_size_bits=self.block_size_bits,
+            abort_qber=self.abort_qber,
+            randomness_testing=self.randomness_testing,
+            stages=self.stages,
+        )
+
+    def channel_parameters(self) -> ChannelParameters:
+        if self.entangled:
+            return ChannelParameters.entangled_link(self.distance_km)
+        return ChannelParameters.for_distance(self.distance_km)
+
+    def link_parameters(self) -> LinkParameters:
+        return LinkParameters(
+            channel=self.channel_parameters(),
+            engine=self.engine_parameters(),
+            slots_per_batch=self.slots_per_batch,
+        )
+
+
+class QKDSystem:
+    """Fluent builder composing optics, engine, pools, gateways and relays."""
+
+    def __init__(self, config: Optional[SystemConfig] = None, **overrides):
+        base = config or SystemConfig()
+        self.config = replace(base, **overrides) if overrides else base
+
+    # ------------------------------------------------------------------ #
+    # Fluent configuration
+    # ------------------------------------------------------------------ #
+
+    def configured(self, **overrides) -> "QKDSystem":
+        """A derived system with the given config fields replaced."""
+        return QKDSystem(replace(self.config, **overrides))
+
+    def with_seed(self, seed: int) -> "QKDSystem":
+        return self.configured(seed=seed)
+
+    def with_distance(self, distance_km: float) -> "QKDSystem":
+        return self.configured(distance_km=distance_km)
+
+    def with_defense(self, defense: str) -> "QKDSystem":
+        return self.configured(defense=defense)
+
+    def with_stages(self, *stage_keys: str) -> "QKDSystem":
+        """Override the distillation pipeline with registry keys, in order."""
+        return self.configured(stages=tuple(stage_keys))
+
+    def entangled(self, flag: bool = True) -> "QKDSystem":
+        return self.configured(entangled=flag)
+
+    # ------------------------------------------------------------------ #
+    # Terminal builders
+    # ------------------------------------------------------------------ #
+
+    def link(self, name: Optional[str] = None, **overrides) -> QKDLink:
+        """A point-to-point QKD link: channel + engine + both key pools."""
+        config = replace(self.config, **overrides) if overrides else self.config
+        return QKDLink(
+            config.link_parameters(),
+            rng=DeterministicRNG(config.seed),
+            name=name or f"{config.name}-link",
+        )
+
+    def vpn(self, **overrides) -> "VPNSystem":
+        """A complete QKD-keyed VPN: link distilling into two gateways.
+
+        The link runs for ``distill_seconds`` of channel time so the gateways
+        have key from the moment they come up; keep calling
+        :meth:`VPNSystem.distill` to model a continuously running link.
+        """
+        config = replace(self.config, **overrides) if overrides else self.config
+        link = QKDSystem(config).link(name=f"{config.name}-vpn-link")
+        initial_report = (
+            link.run_seconds(config.distill_seconds)
+            if config.distill_seconds > 0
+            else None
+        )
+        assembly_rng = DeterministicRNG(config.seed).fork("vpn-assembly")
+        # One persistent RNG feeds every reservoir credit (prefill and later
+        # top_up calls), so repeated draws never repeat key material.
+        reservoir_rng = assembly_rng.fork("reservoir")
+        if config.prefill_key_bits > 0:
+            # Both ends of a real link hold identical reservoirs; credit the
+            # same (independently copied) bits to each pool.
+            prefill = BitString.random(config.prefill_key_bits, reservoir_rng)
+            link.engine.alice_pool.add_bits(prefill)
+            link.engine.bob_pool.add_bits(prefill.copy())
+        clock = SimClock()
+        gateways = GatewayPair.from_engine(
+            link.engine,
+            clock=clock,
+            rng=assembly_rng.fork("gateways"),
+        )
+        return VPNSystem(
+            config=config,
+            link=link,
+            gateways=gateways,
+            clock=clock,
+            initial_report=initial_report,
+            reservoir_rng=reservoir_rng,
+        )
+
+    def mesh(self, **overrides) -> "MeshSystem":
+        """A trusted-relay key-transport mesh with prefilled pairwise pools."""
+        config = replace(self.config, **overrides) if overrides else self.config
+        relays = TrustedRelayNetwork.for_mesh(
+            n_endpoints=config.n_endpoints,
+            n_relays=config.n_relays,
+            link_length_km=config.mesh_link_km,
+            rng=DeterministicRNG(config.seed),
+            metric=config.routing_metric,
+            prefill_seconds=config.prefill_seconds,
+        )
+        return MeshSystem(config=config, relays=relays)
+
+    def __repr__(self) -> str:
+        return f"QKDSystem(seed={self.config.seed}, name={self.config.name!r})"
+
+
+@dataclass
+class VPNSystem:
+    """A QKD link feeding a pair of IPsec gateways — the paper's Fig 2."""
+
+    config: SystemConfig
+    link: QKDLink
+    gateways: GatewayPair
+    clock: SimClock
+    initial_report: Optional[LinkReport] = None
+    #: Persistent stream for reservoir credits; successive draws from it
+    #: never repeat, so top_up can never hand out the same pad twice.
+    reservoir_rng: DeterministicRNG = field(default_factory=lambda: DeterministicRNG(0))
+    _established: bool = field(default=False, repr=False)
+
+    # ------------------------------------------------------------------ #
+
+    def distill(self, seconds: float) -> LinkReport:
+        """Run the QKD link for more channel time, topping up both pools."""
+        return self.link.run_seconds(seconds)
+
+    def top_up(self, key_bits: int) -> None:
+        """Credit both pools with reservoir key (see ``prefill_key_bits``).
+
+        Draws from the system's persistent reservoir stream, so repeated
+        calls always add fresh, non-repeating key material.
+        """
+        extra = BitString.random(key_bits, self.reservoir_rng)
+        self.link.engine.alice_pool.add_bits(extra)
+        self.link.engine.bob_pool.add_bits(extra.copy())
+
+    def secure_tunnel(
+        self,
+        name: str,
+        source_network: str,
+        destination_network: str,
+        cipher_suite: CipherSuite = CipherSuite.AES_QKD_RESEED,
+        **policy_kwargs,
+    ) -> SecurityPolicy:
+        """Install a symmetric protect policy and bring the tunnel up."""
+        policy = SecurityPolicy(
+            name=name,
+            source_network=source_network,
+            destination_network=destination_network,
+            cipher_suite=cipher_suite,
+            lifetime_seconds=policy_kwargs.pop(
+                "lifetime_seconds", self.config.rekey_seconds
+            ),
+            qkd_bits_per_rekey=policy_kwargs.pop(
+                "qkd_bits_per_rekey", self.config.qkd_bits_per_rekey
+            ),
+            **policy_kwargs,
+        )
+        self.gateways.add_symmetric_policy(policy)
+        if not self._established:
+            self.gateways.establish()
+            self._established = True
+        return policy
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: bytes,
+        from_alice: bool = True,
+    ) -> Optional[IPPacket]:
+        """Push one packet through the tunnel; returns what the far side got."""
+        packet = IPPacket(source=source, destination=destination, payload=payload)
+        return self.gateways.transmit(packet, from_alice=from_alice)
+
+    def advance_time(self, seconds: float) -> None:
+        """Advance the gateways' clock (drives SA lifetime rollover)."""
+        self.clock.advance(seconds)
+
+    @property
+    def available_key_bits(self) -> int:
+        return self.link.engine.alice_pool.available_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"VPNSystem({self.link.name}, key={self.available_key_bits} bits, "
+            f"sent={self.gateways.alice.statistics.packets_sent})"
+        )
+
+
+@dataclass
+class MeshSystem:
+    """A trusted-relay mesh delivering end-to-end key (the paper's section 8)."""
+
+    config: SystemConfig
+    relays: TrustedRelayNetwork
+
+    @property
+    def network(self):
+        return self.relays.network
+
+    def run_links_for(self, seconds: float) -> None:
+        """Let every link distill pairwise key for ``seconds`` seconds."""
+        self.relays.run_links_for(seconds)
+
+    def transport_key(
+        self, source: str, destination: str, key_bits: int = 256
+    ) -> KeyTransportResult:
+        return self.relays.transport_key(source, destination, key_bits)
+
+    def transport_with_reroute(
+        self, source: str, destination: str, key_bits: int = 256
+    ) -> KeyTransportResult:
+        return self.relays.transport_with_reroute(source, destination, key_bits)
+
+    def endpoints(self) -> Tuple[str, ...]:
+        return tuple(
+            f"endpoint-{i}" for i in range(self.config.n_endpoints)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MeshSystem({self.network!r}, "
+            f"transports={len(self.relays.transports)})"
+        )

@@ -148,8 +148,8 @@ class CascadeProtocol:
 
     def __init__(
         self,
-        parameters: CascadeParameters = None,
-        rng: DeterministicRNG = None,
+        parameters: Optional[CascadeParameters] = None,
+        rng: Optional[DeterministicRNG] = None,
     ):
         self.parameters = parameters or CascadeParameters()
         self.rng = rng or DeterministicRNG(0)
@@ -160,8 +160,8 @@ class CascadeProtocol:
         self,
         reference_key: BitString,
         working_key: BitString,
-        log: PublicChannelLog = None,
-        error_rate_hint: float = None,
+        log: Optional[PublicChannelLog] = None,
+        error_rate_hint: Optional[float] = None,
     ) -> CascadeResult:
         """Correct ``working_key`` (Bob's) to match ``reference_key`` (Alice's).
 

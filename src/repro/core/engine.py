@@ -6,16 +6,17 @@ batch of channel slots it:
 1. runs **sifting** (sift / sift-response) to obtain both sides' sifted bits,
 2. accumulates sifted bits until a block is large enough to be worth
    correcting,
-3. runs the **Cascade** variant to produce identical error-corrected blocks
-   while counting every parity bit disclosed,
-4. runs **entropy estimation** with the configured defense function to decide
-   how many bits may safely survive,
-5. runs **privacy amplification** over GF(2^n) to distill that many bits,
-6. **authenticates** the whole public transcript of the block with
-   Wegman-Carter tags, replenishing the authentication pool from the freshly
-   distilled bits,
-7. delivers the distilled block to both endpoints' key pools (the "VPN / OPC
-   interface").
+3. hands each completed block to a :class:`repro.pipeline.DistillationPipeline`
+   assembled from the stage registry — by default the paper's plan of QBER
+   alarm, **Cascade** error correction, **entropy estimation** with the
+   configured defense function, **privacy amplification** over GF(2^n),
+   **Wegman-Carter authentication** of the public transcript, and delivery to
+   both endpoints' key pools (the "VPN / OPC interface").
+
+The engine itself is now a thin assembly: every protocol step lives in a
+registered stage (:mod:`repro.pipeline.stages`), so alternative
+error-correction codes, defense functions and privacy-amplification backends
+plug in through :class:`EngineParameters.stages` without editing this module.
 
 Because this is a simulation, one engine object drives both protocol
 endpoints; the two ends' states (keys, pools) are nonetheless kept strictly
@@ -30,7 +31,7 @@ exactly the detect-and-respond behaviour the paper ascribes to Alice and Bob.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.authentication import AuthenticatedChannel
 from repro.core.cascade import CascadeParameters, CascadeProtocol, CascadeResult
@@ -38,16 +39,20 @@ from repro.core.entropy_estimation import (
     BennettDefense,
     EntropyEstimate,
     EntropyEstimator,
-    EntropyInputs,
     SlutskyDefense,
 )
-from repro.core.keypool import KeyBlock, KeyPool
+from repro.core.keypool import KeyPool
 from repro.core.messages import PublicChannelLog
 from repro.core.privacy import PrivacyAmplification, PrivacyAmplificationResult
 from repro.core.randomness import RandomnessTester
-from repro.core.sifting import SiftingProtocol, SiftResult
-from repro.crypto.wegman_carter import AuthenticationError
+from repro.core.sifting import SiftingProtocol
 from repro.optics.channel import FrameResult
+from repro.pipeline import (
+    DEFAULT_STAGE_PLAN,
+    DistillationPipeline,
+    PipelineContext,
+    PipelineServices,
+)
 from repro.util.bits import BitString
 from repro.util.rng import DeterministicRNG
 
@@ -87,6 +92,10 @@ class EngineParameters:
     #: system" extension the paper anticipates.
     randomness_testing: bool = False
     cascade: CascadeParameters = field(default_factory=CascadeParameters)
+    #: The distillation pipeline as an ordered tuple of stage-registry keys
+    #: (see :mod:`repro.pipeline`).  ``None`` selects the paper's default plan;
+    #: supplying a plan swaps stages without touching engine code.
+    stages: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.defense not in ("bennett", "slutsky"):
@@ -97,6 +106,15 @@ class EngineParameters:
             raise ValueError("abort QBER must be in (0, 0.5]")
         if self.auth_replenish_bits < 0:
             raise ValueError("auth replenish bits must be non-negative")
+        if self.stages is not None:
+            if not self.stages:
+                raise ValueError("stage plan must name at least one stage")
+            self.stages = tuple(self.stages)
+
+    @property
+    def stage_plan(self) -> Tuple[str, ...]:
+        """The effective stage plan (the paper's default when unset)."""
+        return self.stages if self.stages is not None else DEFAULT_STAGE_PLAN
 
     def make_defense(self):
         if self.defense == "bennett":
@@ -159,39 +177,51 @@ class EngineStatistics:
 
 
 class QKDProtocolEngine:
-    """Drives the full pipeline and feeds both endpoints' key pools."""
+    """Drives the stage pipeline and feeds both endpoints' key pools."""
 
     def __init__(
         self,
-        parameters: EngineParameters = None,
-        rng: DeterministicRNG = None,
+        parameters: Optional[EngineParameters] = None,
+        rng: Optional[DeterministicRNG] = None,
     ):
-        self.parameters = parameters or EngineParameters()
+        params = parameters or EngineParameters()
         self.rng = rng or DeterministicRNG(0)
 
         preshared = BitString.random(
-            self.parameters.preshared_secret_bits, self.rng.fork("preshared")
+            params.preshared_secret_bits, self.rng.fork("preshared")
         )
-        self.alice_auth, self.bob_auth = AuthenticatedChannel.paired(
-            preshared, self.parameters.auth_tag_bits
-        )
-        self.alice_pool = KeyPool(name="alice")
-        self.bob_pool = KeyPool(name="bob")
-
-        self.cascade = CascadeProtocol(self.parameters.cascade, self.rng.fork("cascade"))
-        self.privacy = PrivacyAmplification(self.rng.fork("privacy"))
-        self.randomness_tester = RandomnessTester() if self.parameters.randomness_testing else None
-        self.estimator = EntropyEstimator(
-            defense=self.parameters.make_defense(),
-            confidence_sigmas=self.parameters.confidence_sigmas,
-            worst_case_multiphoton=self.parameters.worst_case_multiphoton,
+        alice_auth, bob_auth = AuthenticatedChannel.paired(
+            preshared, params.auth_tag_bits
         )
 
-        self.statistics = EngineStatistics()
+        # Every protocol component lives in the services bundle the pipeline
+        # stages read; the engine attributes below (``engine.cascade`` etc.)
+        # are live views onto it, so reassigning one swaps what the stages
+        # use — exactly as it did when the engine was a monolith.
+        self.services = PipelineServices(
+            parameters=params,
+            statistics=EngineStatistics(),
+            cascade=CascadeProtocol(params.cascade, self.rng.fork("cascade")),
+            privacy=PrivacyAmplification(self.rng.fork("privacy")),
+            estimator=EntropyEstimator(
+                defense=params.make_defense(),
+                confidence_sigmas=params.confidence_sigmas,
+                worst_case_multiphoton=params.worst_case_multiphoton,
+            ),
+            alice_auth=alice_auth,
+            bob_auth=bob_auth,
+            alice_pool=KeyPool(name="alice"),
+            bob_pool=KeyPool(name="bob"),
+            randomness_tester=RandomnessTester() if params.randomness_testing else None,
+            running_qber=params.cascade.default_error_rate_hint,
+        )
+        self.pipeline = DistillationPipeline.from_plan(
+            params.stage_plan, self.services
+        )
+
         self.outcomes: List[DistillationOutcome] = []
         self._next_block_id = 0
         self._next_frame_id = 0
-        self._running_qber = self.parameters.cascade.default_error_rate_hint
 
         # Accumulators for sifted bits awaiting a full block.
         self._pending_alice: List[int] = []
@@ -200,6 +230,88 @@ class QKDProtocolEngine:
         self._pending_pulses_transmitted = 0
         self._pending_mu = 0.1
         self._pending_entangled = False
+
+    # ------------------------------------------------------------------ #
+    # Live views onto the shared services bundle
+    # ------------------------------------------------------------------ #
+
+    def _services_view(name, doc):  # noqa: N805 — descriptor factory
+        def _get(self):
+            return getattr(self.services, name)
+
+        def _set(self, value):
+            setattr(self.services, name, value)
+
+        return property(_get, _set, doc=doc)
+
+    statistics = _services_view("statistics", "Cumulative engine statistics.")
+    cascade = _services_view("cascade", "The error-correction protocol stage driver.")
+    privacy = _services_view("privacy", "The privacy-amplification backend.")
+    estimator = _services_view("estimator", "The entropy estimator.")
+    randomness_tester = _services_view(
+        "randomness_tester", "Optional randomness-test battery (None if disabled)."
+    )
+    alice_auth = _services_view("alice_auth", "Alice's authenticated channel endpoint.")
+    bob_auth = _services_view("bob_auth", "Bob's authenticated channel endpoint.")
+    alice_pool = _services_view("alice_pool", "Alice's distilled-key pool.")
+    bob_pool = _services_view("bob_pool", "Bob's distilled-key pool.")
+    _running_qber = _services_view(
+        "running_qber", "The running QBER estimate used to size Cascade blocks."
+    )
+
+    del _services_view
+
+    @property
+    def parameters(self) -> EngineParameters:
+        """The engine's configuration."""
+        return self.services.parameters
+
+    @parameters.setter
+    def parameters(self, value: EngineParameters) -> None:
+        # Reassigning the configuration reassembles the pipeline (the new
+        # parameters may carry a different stage plan; hooks and telemetry
+        # carry over) and refreshes the stateless parameter-derived
+        # components (estimator, randomness tester).  RNG-bearing components
+        # (cascade, privacy, authentication) keep their streams — rebuilding
+        # those would silently reset key-material determinism.
+        self.services.parameters = value
+        self.services.estimator = EntropyEstimator(
+            defense=value.make_defense(),
+            confidence_sigmas=value.confidence_sigmas,
+            worst_case_multiphoton=value.worst_case_multiphoton,
+        )
+        self.services.randomness_tester = (
+            RandomnessTester() if value.randomness_testing else None
+        )
+        # Honor the new cascade configuration without resetting the protocol's
+        # RNG stream.
+        self.services.cascade.parameters = value.cascade
+        self.rebuild_pipeline()
+
+    # ------------------------------------------------------------------ #
+    # Pipeline assembly
+    # ------------------------------------------------------------------ #
+
+    def use_pipeline(self, pipeline: DistillationPipeline) -> None:
+        """Swap in an externally assembled pipeline (experiments, tests)."""
+        self.pipeline = pipeline
+
+    def rebuild_pipeline(self, plan: Optional[Sequence[str]] = None) -> None:
+        """Reassemble the pipeline from registry keys against this engine's
+        services — used after registering replacement stages.  Attached hooks
+        and accumulated telemetry carry over to the rebuilt pipeline.
+
+        An explicit ``plan`` is persisted into ``parameters.stages``, so a
+        later argless rebuild (or configuration tweak) keeps it instead of
+        silently reverting to the previous plan.
+        """
+        if plan is not None:
+            self.services.parameters.stages = tuple(plan)
+        keys = self.parameters.stage_plan
+        rebuilt = DistillationPipeline.from_plan(keys, self.services)
+        rebuilt.hooks = list(self.pipeline.hooks)
+        rebuilt.telemetry = self.pipeline.telemetry
+        self.pipeline = rebuilt
 
     # ------------------------------------------------------------------ #
     # Frame intake
@@ -254,149 +366,34 @@ class QKDProtocolEngine:
         mean_photon_number: float = 0.1,
         entangled_source: bool = False,
     ) -> DistillationOutcome:
-        """Run error correction, entropy estimation, privacy amplification and
-        authentication over one sifted block (stateless entry point used by
-        benchmarks and by :meth:`process_frame`)."""
+        """Run one sifted block through the distillation pipeline (stateless
+        entry point used by benchmarks and by :meth:`process_frame`)."""
         block_id = self._next_block_id
         self._next_block_id += 1
-        log = PublicChannelLog()
 
-        sifted_bits = len(alice_key)
-        true_qber = alice_key.error_rate(bob_key)
-
-        # -- Eavesdropping alarm ------------------------------------------ #
-        if true_qber > self.parameters.abort_qber:
-            self.statistics.blocks_aborted += 1
-            # Even an aborted block costs authenticated traffic: the error
-            # estimate and the abort decision themselves must be exchanged
-            # under authentication, which is what makes the key-exhaustion
-            # denial-of-service of section 2 possible.
-            tag = self.alice_auth.tag_transcript(log)
-            self.bob_auth.verify_transcript(log, tag)
-            outcome = DistillationOutcome(
-                block_id=block_id,
-                sifted_bits=sifted_bits,
-                qber=true_qber,
-                cascade=None,
-                entropy=None,
-                privacy=None,
-                distilled_bits=0,
-                authenticated=False,
-                aborted=True,
-                abort_reason=(
-                    f"QBER {true_qber:.1%} exceeds abort threshold "
-                    f"{self.parameters.abort_qber:.1%} (possible eavesdropping)"
-                ),
-                transcript=log,
-            )
-            self.outcomes.append(outcome)
-            return outcome
-
-        # -- Error correction ---------------------------------------------- #
-        cascade_result = self.cascade.reconcile(
-            alice_key, bob_key, log=log, error_rate_hint=self._running_qber
-        )
-        self.statistics.disclosed_parities += cascade_result.disclosed_parities
-        measured_errors = cascade_result.errors_corrected
-        self._running_qber = 0.5 * self._running_qber + 0.5 * max(
-            measured_errors / max(sifted_bits, 1), 1e-4
-        )
-
-        if not cascade_result.confirmed:
-            self.statistics.blocks_aborted += 1
-            outcome = DistillationOutcome(
-                block_id=block_id,
-                sifted_bits=sifted_bits,
-                qber=true_qber,
-                cascade=cascade_result,
-                entropy=None,
-                privacy=None,
-                distilled_bits=0,
-                authenticated=False,
-                aborted=True,
-                abort_reason="error correction failed confirmation",
-                transcript=log,
-            )
-            self.outcomes.append(outcome)
-            return outcome
-
-        # -- Entropy estimation -------------------------------------------- #
-        non_randomness = self.parameters.non_randomness_bits
-        if self.randomness_tester is not None:
-            # Replace the placeholder r with a measured value: the battery is
-            # run over the corrected block, and any detected bias/correlation
-            # shortens the distilled key accordingly.
-            report = self.randomness_tester.assess(cascade_result.corrected_key)
-            non_randomness += report.non_randomness_bits
-        inputs = EntropyInputs(
-            sifted_bits=sifted_bits,
-            error_bits=measured_errors,
+        ctx = PipelineContext(
+            block_id=block_id,
+            alice_key=alice_key,
+            bob_key=bob_key,
             transmitted_pulses=transmitted_pulses,
-            disclosed_parities=cascade_result.disclosed_parities,
-            non_randomness=non_randomness,
             mean_photon_number=mean_photon_number,
             entangled_source=entangled_source,
+            services=self.services,
         )
-        entropy = self.estimator.estimate(inputs)
-
-        # -- Privacy amplification ----------------------------------------- #
-        privacy_result = self.privacy.amplify(
-            cascade_result.corrected_key, entropy.distillable_bits, log=log
-        )
-        # Alice hashes her own (reference) key with the same announced
-        # parameters; since the corrected keys are identical the outputs are
-        # identical, which the tests verify explicitly.
-        distilled = privacy_result.distilled_key
-
-        # -- Authentication ------------------------------------------------- #
-        authenticated = True
-        try:
-            tag = self.alice_auth.tag_transcript(log)
-            self.bob_auth.verify_transcript(log, tag)
-            tag_back = self.bob_auth.tag_transcript(log)
-            self.alice_auth.verify_transcript(log, tag_back)
-        except AuthenticationError:
-            authenticated = False
-
-        if authenticated and len(distilled) > 0:
-            # Replenish the authentication pools before handing key to users.
-            replenish = min(self.parameters.auth_replenish_bits, len(distilled))
-            if replenish:
-                refresh_bits = distilled[:replenish]
-                self.alice_auth.replenish(refresh_bits)
-                self.bob_auth.replenish(refresh_bits)
-                distilled = distilled[replenish:]
-
-            block = KeyBlock(
-                bits=distilled,
-                block_id=block_id,
-                qber=true_qber,
-                sifted_bits=sifted_bits,
-            )
-            self.alice_pool.add_block(block)
-            self.bob_pool.add_block(
-                KeyBlock(
-                    bits=distilled,
-                    block_id=block_id,
-                    qber=true_qber,
-                    sifted_bits=sifted_bits,
-                )
-            )
-            self.statistics.distilled_bits += len(distilled)
-            self.statistics.blocks_distilled += 1
+        ctx = self.pipeline.run(ctx)
 
         outcome = DistillationOutcome(
-            block_id=block_id,
-            sifted_bits=sifted_bits,
-            qber=true_qber,
-            cascade=cascade_result,
-            entropy=entropy,
-            privacy=privacy_result,
-            distilled_bits=len(distilled) if authenticated else 0,
-            authenticated=authenticated,
-            aborted=not authenticated,
-            abort_reason="" if authenticated else "authentication failure",
-            transcript=log,
+            block_id=ctx.block_id,
+            sifted_bits=ctx.sifted_bits,
+            qber=ctx.qber,
+            cascade=ctx.cascade,
+            entropy=ctx.entropy,
+            privacy=ctx.privacy,
+            distilled_bits=ctx.distilled_bits,
+            authenticated=ctx.authenticated,
+            aborted=ctx.aborted,
+            abort_reason=ctx.abort_reason,
+            transcript=ctx.log,
         )
         self.outcomes.append(outcome)
         return outcome

@@ -25,7 +25,7 @@ output length is apportioned across blocks proportionally.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.messages import PrivacyAmplificationMessage, PublicChannelLog
 from repro.mathkit.gf2n import (
@@ -58,7 +58,7 @@ class PrivacyAmplificationResult:
 class PrivacyAmplification:
     """Runs the privacy-amplification transaction for one corrected block."""
 
-    def __init__(self, rng: DeterministicRNG = None, max_block_bits: int = MAX_FIELD_DEGREE):
+    def __init__(self, rng: Optional[DeterministicRNG] = None, max_block_bits: int = MAX_FIELD_DEGREE):
         if max_block_bits <= 0:
             raise ValueError("block size must be positive")
         self.rng = rng or DeterministicRNG(0)
@@ -108,7 +108,7 @@ class PrivacyAmplification:
         self,
         key: BitString,
         output_bits: int,
-        log: PublicChannelLog = None,
+        log: Optional[PublicChannelLog] = None,
     ) -> PrivacyAmplificationResult:
         """Shorten ``key`` to ``output_bits`` distilled bits.
 

@@ -23,7 +23,7 @@ therefore discloses no key information to Eve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,7 +58,7 @@ def run_length_encode(flags: Sequence[int]) -> List[int]:
     return runs
 
 
-def run_length_decode(runs: Sequence[int], expected_length: int = None) -> List[int]:
+def run_length_decode(runs: Sequence[int], expected_length: Optional[int] = None) -> List[int]:
     """Decode alternating run lengths back into the 0/1 detection sequence."""
     flags: List[int] = []
     value = 0

@@ -18,6 +18,8 @@ survives.  Benchmark E11 sweeps the attack intensity.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 from repro.core.engine import QKDProtocolEngine
@@ -53,7 +55,7 @@ class KeyExhaustionDoS:
         self,
         engine: QKDProtocolEngine,
         max_rounds: int = 1000,
-        rng: DeterministicRNG = None,
+        rng: Optional[DeterministicRNG] = None,
     ) -> DoSOutcome:
         """Attack until the authentication pool dies or ``max_rounds`` pass.
 

@@ -25,7 +25,7 @@ Consequences, which the protocol stack observes:
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class InterceptResendAttack(QuantumChannelAttack):
 
     name = "intercept-resend"
 
-    def __init__(self, intercept_fraction: float = 1.0, resend_mean_photons: float = None):
+    def __init__(self, intercept_fraction: float = 1.0, resend_mean_photons: Optional[float] = None):
         if not 0.0 <= intercept_fraction <= 1.0:
             raise ValueError("intercept fraction must be in [0, 1]")
         self.intercept_fraction = intercept_fraction

@@ -207,9 +207,26 @@ class GatewayPair:
         self.delivered: List[IPPacket] = []
         self.transport_failures = 0
 
+    @classmethod
+    def from_engine(
+        cls,
+        engine,
+        clock: Optional[SimClock] = None,
+        rng: Optional[DeterministicRNG] = None,
+        **kwargs,
+    ) -> "GatewayPair":
+        """Wire a gateway pair onto a QKD protocol engine's two key pools.
+
+        ``engine`` is a :class:`repro.core.engine.QKDProtocolEngine` (typed
+        loosely to keep this module independent of the engine); its Alice and
+        Bob pools become the gateways' key sources, which is exactly the
+        paper's "VPN / OPC interface" hand-off.
+        """
+        return cls(engine.alice_pool, engine.bob_pool, clock=clock, rng=rng, **kwargs)
+
     # ------------------------------------------------------------------ #
 
-    def add_symmetric_policy(self, policy: SecurityPolicy, reverse_name: str = None) -> None:
+    def add_symmetric_policy(self, policy: SecurityPolicy, reverse_name: Optional[str] = None) -> None:
         """Install the policy at Alice and its mirror image at Bob."""
         self.alice.add_policy(policy)
         mirrored = SecurityPolicy(

@@ -92,8 +92,8 @@ class QKDLink:
 
     def __init__(
         self,
-        parameters: LinkParameters = None,
-        rng: DeterministicRNG = None,
+        parameters: Optional[LinkParameters] = None,
+        rng: Optional[DeterministicRNG] = None,
         name: str = "link",
     ):
         self.parameters = parameters or LinkParameters()

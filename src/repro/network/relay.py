@@ -60,6 +60,34 @@ class TrustedRelayNetwork:
         for edge in network.links():
             self.pairwise_pads[self._pad_key(edge.node_a, edge.node_b)] = OneTimePad()
 
+    @classmethod
+    def for_mesh(
+        cls,
+        n_endpoints: int = 4,
+        n_relays: int = 4,
+        link_length_km: float = 10.0,
+        rng: Optional[DeterministicRNG] = None,
+        metric: str = "hops",
+        prefill_seconds: float = 0.0,
+    ) -> "TrustedRelayNetwork":
+        """Build a metro-style relay mesh and its key-transport layer in one
+        call (the assembly the examples and the :mod:`repro.api` facade use).
+
+        ``prefill_seconds`` optionally lets every link distill pairwise key
+        before the network is handed back, so it is immediately usable.
+        """
+        rng = rng or DeterministicRNG(0)
+        network = QKDNetwork.relay_mesh(
+            n_endpoints=n_endpoints,
+            n_relays=n_relays,
+            link_length_km=link_length_km,
+            rng=rng.fork("topology"),
+        )
+        relays = cls(network, rng=rng.fork("transport"), metric=metric)
+        if prefill_seconds > 0:
+            relays.run_links_for(prefill_seconds)
+        return relays
+
     # ------------------------------------------------------------------ #
     # Pairwise key replenishment
     # ------------------------------------------------------------------ #

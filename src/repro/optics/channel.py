@@ -74,7 +74,7 @@ class ChannelParameters:
 
     @classmethod
     def entangled_link(
-        cls, length_km: float = 10.0, source: EntangledSourceParameters = None
+        cls, length_km: float = 10.0, source: Optional[EntangledSourceParameters] = None
     ) -> "ChannelParameters":
         """The planned second link: an SPDC entangled-pair source over fiber."""
         return cls(
@@ -196,8 +196,8 @@ class QuantumChannel:
 
     def __init__(
         self,
-        parameters: ChannelParameters = None,
-        rng: DeterministicRNG = None,
+        parameters: Optional[ChannelParameters] = None,
+        rng: Optional[DeterministicRNG] = None,
     ):
         self.parameters = parameters or ChannelParameters()
         self.rng = rng or DeterministicRNG(0)

@@ -21,6 +21,8 @@ error rate:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,7 +60,7 @@ class DetectorParameters:
 class GatedAPDPair:
     """Samples click outcomes for Bob's two gated detectors."""
 
-    def __init__(self, parameters: DetectorParameters = None):
+    def __init__(self, parameters: Optional[DetectorParameters] = None):
         self.parameters = parameters or DetectorParameters()
 
     # ------------------------------------------------------------------ #

@@ -17,6 +17,8 @@ both source types under like assumptions.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 from dataclasses import dataclass
 
@@ -63,8 +65,8 @@ class EntangledPairSource:
 
     def __init__(
         self,
-        parameters: EntangledSourceParameters = None,
-        rng: DeterministicRNG = None,
+        parameters: Optional[EntangledSourceParameters] = None,
+        rng: Optional[DeterministicRNG] = None,
     ):
         self.parameters = parameters or EntangledSourceParameters()
         self.rng = rng or DeterministicRNG(0)

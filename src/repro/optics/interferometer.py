@@ -19,6 +19,8 @@ as the paper states.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 from dataclasses import dataclass
 
@@ -51,7 +53,7 @@ class InterferometerParameters:
 class MachZehnderPair:
     """Computes detector-hit probabilities for the Alice/Bob interferometer pair."""
 
-    def __init__(self, parameters: InterferometerParameters = None):
+    def __init__(self, parameters: Optional[InterferometerParameters] = None):
         self.parameters = parameters or InterferometerParameters()
 
     # ------------------------------------------------------------------ #

@@ -15,6 +15,8 @@ matches the summing-amplifier construction in Fig 3 of the paper.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import math
 from dataclasses import dataclass
 
@@ -61,7 +63,7 @@ class WeakCoherentSource:
     these arrays as a raw Qframe.
     """
 
-    def __init__(self, parameters: SourceParameters = None, rng: DeterministicRNG = None):
+    def __init__(self, parameters: Optional[SourceParameters] = None, rng: Optional[DeterministicRNG] = None):
         self.parameters = parameters or SourceParameters()
         self.rng = rng or DeterministicRNG(0)
         self._numpy_rng = np.random.default_rng(self.rng.getrandbits(64))

@@ -19,6 +19,8 @@ The model captures those three effects and nothing more.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,7 +53,7 @@ class FramingParameters:
 class BrightPulseFraming:
     """Assigns slots to frames and decides which frames are successfully gated."""
 
-    def __init__(self, parameters: FramingParameters = None, rng: DeterministicRNG = None):
+    def __init__(self, parameters: Optional[FramingParameters] = None, rng: Optional[DeterministicRNG] = None):
         self.parameters = parameters or FramingParameters()
         self.rng = rng or DeterministicRNG(0)
         self._numpy_rng = np.random.default_rng(self.rng.getrandbits(64))

@@ -1,0 +1,122 @@
+"""Per-block pipeline state and the shared services stages draw on.
+
+A :class:`PipelineContext` is everything one sifted block accumulates on its
+way through the distillation pipeline: the two endpoints' keys, the public
+transcript, the per-stage results (Cascade, entropy estimate, privacy
+amplification), and the abort/authentication flags.  Stages receive a context,
+mutate it, and hand it to the next stage.
+
+A :class:`PipelineServices` bundle holds the long-lived two-party machinery a
+stage needs but does not own: the Cascade protocol instance, the privacy
+amplifier, the entropy estimator, both endpoints' authenticated channels and
+key pools, and the engine's cumulative statistics.  One services bundle is
+shared by every block the engine distills, which is how stages carry state
+(running QBER estimate, authentication pools) across blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core.cascade import CascadeProtocol, CascadeResult
+from repro.core.entropy_estimation import EntropyEstimate, EntropyEstimator
+from repro.core.keypool import KeyPool
+from repro.core.messages import PublicChannelLog
+from repro.core.privacy import PrivacyAmplification, PrivacyAmplificationResult
+from repro.core.randomness import RandomnessTester
+from repro.util.bits import BitString
+
+
+@dataclass
+class PipelineServices:
+    """Long-lived two-party machinery shared by every block's pipeline run.
+
+    ``parameters`` and ``statistics`` are the engine's
+    :class:`~repro.core.engine.EngineParameters` and
+    :class:`~repro.core.engine.EngineStatistics`; they are typed loosely here
+    so the pipeline package never has to import the engine module (the engine
+    imports the pipeline, not the other way round).
+    """
+
+    #: The engine's EngineParameters (defense choice, thresholds, replenish).
+    parameters: Any
+    #: The engine's cumulative EngineStatistics, mutated by stages.
+    statistics: Any
+    cascade: CascadeProtocol
+    privacy: PrivacyAmplification
+    estimator: EntropyEstimator
+    #: Alice's and Bob's AuthenticatedChannel endpoints.
+    alice_auth: Any
+    bob_auth: Any
+    alice_pool: KeyPool
+    bob_pool: KeyPool
+    randomness_tester: Optional[RandomnessTester] = None
+    #: Exponentially-weighted running QBER estimate used to size Cascade's
+    #: first-pass blocks; updated by the error-correction stage.
+    running_qber: float = 0.01
+
+
+@dataclass
+class PipelineContext:
+    """Everything one sifted block carries through the distillation pipeline."""
+
+    block_id: int
+    alice_key: BitString
+    bob_key: BitString
+    transmitted_pulses: int
+    mean_photon_number: float = 0.1
+    entangled_source: bool = False
+    #: The services bundle this block runs against.  When set, it takes
+    #: precedence over the bundle a stage was constructed with (see
+    #: :meth:`repro.pipeline.stage.PipelineStage.services_for`), so a
+    #: context can be routed through any pipeline and still deliver into
+    #: its own pools/statistics.
+    services: Optional[PipelineServices] = None
+
+    #: Public transcript of the block; authenticated at the end.
+    log: PublicChannelLog = field(default_factory=PublicChannelLog)
+
+    #: Measured error rate between the two keys.  This is ground truth the
+    #: simulation knows up front (not a stage product), so it is computed at
+    #: construction — every pipeline plan sees the real QBER, whether or not
+    #: it includes the alarm stage.  Pass a value explicitly to override.
+    qber: Optional[float] = None
+
+    # ---- filled in by stages ---------------------------------------- #
+    cascade: Optional[CascadeResult] = None
+    entropy: Optional[EntropyEstimate] = None
+    privacy: Optional[PrivacyAmplificationResult] = None
+    #: The distilled key as it currently stands (post-privacy-amplification,
+    #: then post-replenish once the delivery stage has run).
+    distilled: Optional[BitString] = None
+    authenticated: bool = False
+    aborted: bool = False
+    abort_reason: str = ""
+    #: Names of the stages that actually ran, in order (telemetry).
+    stages_run: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.alice_key) != len(self.bob_key):
+            raise ValueError(
+                "alice and bob keys must have the same length "
+                f"({len(self.alice_key)} != {len(self.bob_key)})"
+            )
+        if self.qber is None:
+            self.qber = self.alice_key.error_rate(self.bob_key)
+
+    @property
+    def sifted_bits(self) -> int:
+        return len(self.alice_key)
+
+    @property
+    def distilled_bits(self) -> int:
+        """Distilled bits delivered (0 unless the block authenticated)."""
+        if not self.authenticated or self.distilled is None:
+            return 0
+        return len(self.distilled)
+
+    def abort(self, reason: str) -> None:
+        """Mark the block aborted; the pipeline skips the remaining stages."""
+        self.aborted = True
+        self.abort_reason = reason

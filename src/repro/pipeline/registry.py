@@ -1,0 +1,117 @@
+"""String-keyed registry of pipeline-stage factories.
+
+Stage implementations register themselves under dotted keys
+(``"cascade.bicon"``, ``"entropy.estimate"``, ``"auth.wegman_carter"`` ...)
+and the engine assembles its pipeline from a plan — an ordered tuple of keys.
+Swapping one stage of the paper's pipeline for a variant is then a pure
+configuration change:
+
+    register_stage("entropy.slutsky", ...)          # library or user code
+    EngineParameters(stages=("alarm.qber", "cascade.bicon",
+                             "entropy.slutsky", "privacy.gf2n",
+                             "auth.wegman_carter", "deliver.pools"))
+
+A factory takes the shared :class:`~repro.pipeline.context.PipelineServices`
+bundle and returns a ready stage, so registered stages can reach the same
+two-party machinery the built-ins use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.pipeline.context import PipelineServices
+from repro.pipeline.stage import Stage
+
+StageFactory = Callable[[PipelineServices], Stage]
+
+#: The paper's Fig 9 pipeline, as registry keys, in order.
+DEFAULT_STAGE_PLAN: Tuple[str, ...] = (
+    "alarm.qber",
+    "cascade.bicon",
+    "entropy.estimate",
+    "privacy.gf2n",
+    "auth.wegman_carter",
+    "deliver.pools",
+)
+
+#: Each key maps to a stack of factories; registering pushes (shadowing any
+#: previous registration) and unregistering pops (restoring it), so a test or
+#: experiment can shadow a built-in stage and later put it back intact.
+_REGISTRY: Dict[str, List[StageFactory]] = {}
+
+#: Keys whose base registration is permanent (the built-in stages); their
+#: shadows can be unregistered but the base entry cannot be removed.
+_PROTECTED: set = set()
+
+
+class UnknownStageError(KeyError):
+    """Raised when a stage plan names a key nothing has registered."""
+
+    def __init__(self, key: str):
+        self.key = key
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        super().__init__(f"no stage registered under {key!r} (known: {known})")
+
+
+def register_stage(
+    key: str, factory: Optional[StageFactory] = None
+) -> Callable[[StageFactory], StageFactory]:
+    """Register ``factory`` under ``key``; usable directly or as a decorator.
+
+    Re-registering a key shadows the previous factory (last write wins) —
+    which is what lets an experiment replace a built-in stage — and
+    :func:`unregister_stage` restores whatever was shadowed.
+    """
+    if not key or not isinstance(key, str):
+        raise ValueError("stage key must be a non-empty string")
+
+    def _register(fn: StageFactory) -> StageFactory:
+        _REGISTRY.setdefault(key, []).append(fn)
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_stage(key: str) -> None:
+    """Remove the most recent registration of ``key``, restoring whatever it
+    shadowed.  The base registration of a built-in stage is permanent — only
+    its shadows can be removed — so un-shadowing (or an over-eager teardown)
+    can never break the default plan.
+    """
+    stack = _REGISTRY.get(key)
+    if not stack:
+        return
+    if len(stack) == 1 and key in _PROTECTED:
+        raise ValueError(
+            f"cannot remove the built-in registration of {key!r}; "
+            "only shadowing registrations can be unregistered"
+        )
+    stack.pop()
+    if not stack:
+        del _REGISTRY[key]
+
+
+def protect_registered_stages() -> None:
+    """Mark every currently registered key's base entry as permanent.
+
+    Called once by :mod:`repro.pipeline.stages` after the built-ins register;
+    harmless to call again after registering further library-level stages.
+    """
+    _PROTECTED.update(_REGISTRY)
+
+
+def create_stage(key: str, services: PipelineServices) -> Stage:
+    """Instantiate the stage registered under ``key``."""
+    try:
+        factory = _REGISTRY[key][-1]
+    except (KeyError, IndexError):
+        raise UnknownStageError(key) from None
+    return factory(services)
+
+
+def registered_stages() -> Tuple[str, ...]:
+    """All registered keys, sorted (for error messages and introspection)."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,260 @@
+"""The built-in stages of the paper's Fig 9 distillation pipeline.
+
+Each class wraps one of the two-party protocols of :mod:`repro.core` as a
+pluggable :class:`~repro.pipeline.stage.PipelineStage` and registers itself
+in the stage registry:
+
+========================  ====================================================
+key                       stage
+========================  ====================================================
+``alarm.qber``            eavesdropping alarm (abort above the QBER threshold)
+``cascade.bicon``         BBN Cascade error correction with leakage accounting
+``entropy.estimate``      entropy estimation with the configured defense
+``entropy.bennett``       entropy estimation forcing the Bennett defense
+``entropy.slutsky``       entropy estimation forcing the Slutsky defense
+``privacy.gf2n``          privacy amplification over GF(2^n)
+``auth.wegman_carter``    Wegman-Carter authentication of the transcript
+``deliver.pools``         auth-pool replenishment and key-pool delivery
+========================  ====================================================
+
+The stages reproduce the historical monolithic engine bit for bit: the same
+RNG draws in the same order, the same statistics increments, the same
+authentication-pool arithmetic.  The engine's tests pin that equivalence.
+"""
+
+from __future__ import annotations
+
+from repro.core.entropy_estimation import (
+    BennettDefense,
+    EntropyEstimator,
+    EntropyInputs,
+    SlutskyDefense,
+)
+from repro.core.keypool import KeyBlock
+from repro.crypto.wegman_carter import AuthenticationError
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.registry import register_stage
+from repro.pipeline.stage import PipelineStage, StageDependencyError
+
+
+@register_stage("alarm.qber")
+class QberAlarmStage(PipelineStage):
+    """Abort blocks whose error rate signals eavesdropping.
+
+    A QBER above the configured threshold is the signature of an
+    intercept-resend attack; the block is discarded.  Even an aborted block
+    costs authenticated traffic — the error estimate and the abort decision
+    themselves are exchanged under authentication, which is what makes the
+    key-exhaustion denial-of-service of the paper's section 2 possible.
+    """
+
+    name = "alarm.qber"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        services = self.services_for(ctx)
+        threshold = services.parameters.abort_qber
+        if ctx.qber > threshold:
+            services.statistics.blocks_aborted += 1
+            tag = services.alice_auth.tag_transcript(ctx.log)
+            services.bob_auth.verify_transcript(ctx.log, tag)
+            ctx.abort(
+                f"QBER {ctx.qber:.1%} exceeds abort threshold "
+                f"{threshold:.1%} (possible eavesdropping)"
+            )
+        return ctx
+
+
+@register_stage("cascade.bicon")
+class CascadeStage(PipelineStage):
+    """BBN Cascade error correction, charging every disclosed parity bit."""
+
+    name = "cascade.bicon"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        services = self.services_for(ctx)
+        result = services.cascade.reconcile(
+            ctx.alice_key,
+            ctx.bob_key,
+            log=ctx.log,
+            error_rate_hint=services.running_qber,
+        )
+        ctx.cascade = result
+        services.statistics.disclosed_parities += result.disclosed_parities
+        services.running_qber = 0.5 * services.running_qber + 0.5 * max(
+            result.errors_corrected / max(ctx.sifted_bits, 1), 1e-4
+        )
+        if not result.confirmed:
+            services.statistics.blocks_aborted += 1
+            ctx.abort("error correction failed confirmation")
+        return ctx
+
+
+class _EntropyStageBase(PipelineStage):
+    """Shared machinery of the entropy-estimation stage variants."""
+
+    def _estimator(self, services) -> EntropyEstimator:
+        return services.estimator
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        if ctx.cascade is None:
+            raise StageDependencyError(
+                f"{self.name} requires an error-correction stage earlier in "
+                "the plan (ctx.cascade is unset)"
+            )
+        services = self.services_for(ctx)
+        non_randomness = services.parameters.non_randomness_bits
+        if services.randomness_tester is not None:
+            # Replace the placeholder r with a measured value: the battery is
+            # run over the corrected block, and any detected bias/correlation
+            # shortens the distilled key accordingly.
+            report = services.randomness_tester.assess(ctx.cascade.corrected_key)
+            non_randomness += report.non_randomness_bits
+        inputs = EntropyInputs(
+            sifted_bits=ctx.sifted_bits,
+            error_bits=ctx.cascade.errors_corrected,
+            transmitted_pulses=ctx.transmitted_pulses,
+            disclosed_parities=ctx.cascade.disclosed_parities,
+            non_randomness=non_randomness,
+            mean_photon_number=ctx.mean_photon_number,
+            entangled_source=ctx.entangled_source,
+        )
+        ctx.entropy = self._estimator(services).estimate(inputs)
+        return ctx
+
+
+@register_stage("entropy.estimate")
+class EntropyEstimationStage(_EntropyStageBase):
+    """Entropy estimation with the engine's configured defense function."""
+
+    name = "entropy.estimate"
+
+
+class _ForcedDefenseStage(_EntropyStageBase):
+    """Entropy estimation that overrides the configured defense function.
+
+    The estimator is built per run from the resolved services bundle, so the
+    stage needs no services at construction and honours a context's own
+    bundle (confidence parameters included).
+    """
+
+    defense_cls = BennettDefense
+
+    def _estimator(self, services) -> EntropyEstimator:
+        return EntropyEstimator(
+            defense=self.defense_cls(),
+            confidence_sigmas=services.parameters.confidence_sigmas,
+            worst_case_multiphoton=services.parameters.worst_case_multiphoton,
+        )
+
+
+@register_stage("entropy.bennett")
+class BennettEntropyStage(_ForcedDefenseStage):
+    name = "entropy.bennett"
+    defense_cls = BennettDefense
+
+
+@register_stage("entropy.slutsky")
+class SlutskyEntropyStage(_ForcedDefenseStage):
+    name = "entropy.slutsky"
+    defense_cls = SlutskyDefense
+
+
+@register_stage("privacy.gf2n")
+class PrivacyAmplificationStage(PipelineStage):
+    """Distill the corrected block down to the entropy estimate's bound.
+
+    Alice hashes her own (reference) key with the same announced parameters;
+    since the corrected keys are identical the outputs are identical, which
+    the tests verify explicitly.
+    """
+
+    name = "privacy.gf2n"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        if ctx.cascade is None or ctx.entropy is None:
+            missing = "ctx.cascade" if ctx.cascade is None else "ctx.entropy"
+            raise StageDependencyError(
+                f"{self.name} requires error-correction and entropy-estimation "
+                f"stages earlier in the plan ({missing} is unset)"
+            )
+        result = self.services_for(ctx).privacy.amplify(
+            ctx.cascade.corrected_key, ctx.entropy.distillable_bits, log=ctx.log
+        )
+        ctx.privacy = result
+        ctx.distilled = result.distilled_key
+        return ctx
+
+
+@register_stage("auth.wegman_carter")
+class AuthenticationStage(PipelineStage):
+    """Authenticate the block's public transcript in both directions."""
+
+    name = "auth.wegman_carter"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        services = self.services_for(ctx)
+        ctx.authenticated = True
+        try:
+            tag = services.alice_auth.tag_transcript(ctx.log)
+            services.bob_auth.verify_transcript(ctx.log, tag)
+            tag_back = services.bob_auth.tag_transcript(ctx.log)
+            services.alice_auth.verify_transcript(ctx.log, tag_back)
+        except AuthenticationError:
+            ctx.authenticated = False
+            ctx.abort("authentication failure")
+        return ctx
+
+
+@register_stage("deliver.pools")
+class DeliveryStage(PipelineStage):
+    """Replenish the authentication pools and feed both endpoints' key pools.
+
+    Each endpoint's :class:`~repro.core.keypool.KeyBlock` gets its own
+    independent copy of the distilled bits, so the two pools can never alias
+    the same object.
+    """
+
+    name = "deliver.pools"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        services = self.services_for(ctx)
+        if not ctx.authenticated:
+            # Policy, not misconfiguration: key is only ever delivered from
+            # an authenticated transcript.
+            return ctx
+        if ctx.distilled is None:
+            raise StageDependencyError(
+                f"{self.name} requires a privacy-amplification stage earlier "
+                "in the plan (ctx.distilled is unset)"
+            )
+        distilled = ctx.distilled
+        if len(distilled) == 0:
+            return ctx
+
+        replenish = min(services.parameters.auth_replenish_bits, len(distilled))
+        if replenish:
+            refresh_bits = distilled[:replenish]
+            services.alice_auth.replenish(refresh_bits)
+            services.bob_auth.replenish(refresh_bits)
+            distilled = distilled[replenish:]
+        ctx.distilled = distilled
+
+        for pool in (services.alice_pool, services.bob_pool):
+            pool.add_block(
+                KeyBlock(
+                    bits=distilled.copy(),
+                    block_id=ctx.block_id,
+                    qber=ctx.qber,
+                    sifted_bits=ctx.sifted_bits,
+                )
+            )
+        services.statistics.distilled_bits += len(distilled)
+        services.statistics.blocks_distilled += 1
+        return ctx
+
+
+# The registrations above are the library's built-ins: their base entries are
+# permanent, so no amount of shadowing/unregistering can break DEFAULT_STAGE_PLAN.
+from repro.pipeline.registry import protect_registered_stages as _protect
+
+_protect()

@@ -134,6 +134,19 @@ class BitString:
         """Return the bits as a plain mutable list."""
         return list(self._bits)
 
+    def copy(self) -> "BitString":
+        """Return an independent ``BitString`` instance with the same bits.
+
+        ``BitString`` is immutable, so aliasing is never unsafe — but key
+        material handed to two protocol endpoints must not share an object,
+        so that each endpoint's state is verifiably self-contained.  Only
+        the wrapper object is new; the immutable bit tuple is shared, so
+        this is O(1) and skips re-validation.
+        """
+        dup = object.__new__(BitString)
+        dup._bits = self._bits
+        return dup
+
     def __str__(self) -> str:
         return "".join(str(b) for b in self._bits)
 

@@ -10,6 +10,7 @@ rather than sharing one stream (which would make results depend on call order).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Optional, Sequence, TypeVar
 
@@ -40,12 +41,18 @@ class DeterministicRNG:
         """Derive an independent child generator.
 
         The child's seed mixes this generator's seed, a per-parent counter and
-        the optional label, so forking in a fixed order yields a fixed set of
-        independent streams.
+        the optional label through a stable hash (BLAKE2b), so forking in a
+        fixed order yields the same set of independent streams in every
+        process.  (Python's built-in ``hash`` of a string is randomized per
+        process by ``PYTHONHASHSEED``, which would silently make every
+        "seeded" simulation unreproducible across runs.)
         """
         self._fork_counter += 1
         base = self.seed if self.seed is not None else 0
-        child_seed = hash((base, self._fork_counter, label)) & 0xFFFFFFFFFFFFFFFF
+        material = f"{base}|{self._fork_counter}|{label}".encode()
+        child_seed = int.from_bytes(
+            hashlib.blake2b(material, digest_size=8).digest(), "big"
+        )
         return DeterministicRNG(child_seed)
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,171 @@
+"""Tests for the top-level repro.api facade (QKDSystem and friends)."""
+
+import pytest
+
+from repro import MeshSystem, QKDSystem, SystemConfig, VPNSystem
+from repro.ipsec.spd import CipherSuite
+from repro.link import LinkParameters, QKDLink
+from repro.util.rng import DeterministicRNG
+
+
+class TestSystemConfig:
+    def test_engine_parameters_mapping(self):
+        config = SystemConfig(defense="slutsky", block_size_bits=1024, stages=None)
+        params = config.engine_parameters()
+        assert params.defense == "slutsky"
+        assert params.block_size_bits == 1024
+        assert params.stages is None
+
+    def test_link_parameters_mapping(self):
+        config = SystemConfig(distance_km=20.0, slots_per_batch=250_000)
+        params = config.link_parameters()
+        assert params.channel.path.length_km == 20.0
+        assert params.slots_per_batch == 250_000
+        assert not params.channel.is_entangled
+
+    def test_entangled_channel(self):
+        config = SystemConfig(entangled=True, distance_km=15.0)
+        assert config.channel_parameters().is_entangled
+
+
+class TestFluentBuilders:
+    def test_with_methods_derive_new_systems(self):
+        base = QKDSystem(seed=1)
+        derived = base.with_defense("slutsky").with_distance(20.0).with_seed(9)
+        assert base.config.defense == "bennett"
+        assert base.config.seed == 1
+        assert derived.config.defense == "slutsky"
+        assert derived.config.distance_km == 20.0
+        assert derived.config.seed == 9
+
+    def test_with_stages(self):
+        system = QKDSystem().with_stages("alarm.qber", "cascade.bicon")
+        assert system.config.stages == ("alarm.qber", "cascade.bicon")
+
+    def test_kwargs_constructor(self):
+        system = QKDSystem(seed=5, defense="slutsky")
+        assert system.config.seed == 5
+        assert system.config.defense == "slutsky"
+
+
+class TestLinkFacade:
+    def test_round_trip_matches_legacy_link(self):
+        """QKDSystem.link must be bit-for-bit the legacy construction."""
+        facade = QKDSystem(seed=2003).link().run_seconds(1.0)
+        legacy = QKDLink(
+            LinkParameters.paper_link(), rng=DeterministicRNG(2003)
+        ).run_seconds(1.0)
+        assert facade.sifted_bits == legacy.sifted_bits
+        assert facade.distilled_bits == legacy.distilled_bits
+        assert facade.mean_qber == legacy.mean_qber
+        assert facade.blocks_distilled == legacy.blocks_distilled
+        assert facade.blocks_aborted == legacy.blocks_aborted
+
+    def test_link_overrides(self):
+        link = QKDSystem(seed=3).link(distance_km=25.0, name="far-link")
+        assert link.name == "far-link"
+        assert link.parameters.channel.path.length_km == 25.0
+
+    def test_stage_plan_reaches_engine(self):
+        plan = (
+            "alarm.qber",
+            "cascade.bicon",
+            "entropy.slutsky",
+            "privacy.gf2n",
+            "auth.wegman_carter",
+            "deliver.pools",
+        )
+        link = QKDSystem(seed=4, stages=plan).link()
+        assert link.engine.pipeline.stage_names == list(plan)
+
+
+class TestVpnFacade:
+    @pytest.fixture(scope="class")
+    def vpn(self):
+        system = QKDSystem(seed=42)
+        return system.vpn(distill_seconds=1.0)
+
+    def test_vpn_assembles_link_and_gateways(self, vpn):
+        assert isinstance(vpn, VPNSystem)
+        assert vpn.initial_report is not None
+        assert vpn.available_key_bits > 0
+        # Both gateways draw from the same link's (independent) pools.
+        assert vpn.gateways.alice.key_pool is vpn.link.engine.alice_pool
+        assert vpn.gateways.bob.key_pool is vpn.link.engine.bob_pool
+
+    def test_tunnel_round_trip(self, vpn):
+        vpn.secure_tunnel("enclave", "10.1.0.0/16", "10.2.0.0/16")
+        before = vpn.available_key_bits
+        delivered = vpn.send("10.1.0.9", "10.2.0.7", b"attack at dawn")
+        assert delivered is not None
+        assert delivered.payload == b"attack at dawn"
+        # Bringing the tunnel up consumed QKD key.
+        assert vpn.available_key_bits < before
+
+    def test_one_time_pad_tunnel(self, vpn):
+        # A one-time-pad SA spends pad byte-for-byte on traffic, so give it a
+        # Qblock big enough for the test payload plus ESP overhead.
+        vpn.secure_tunnel(
+            "sensitive",
+            "10.5.0.0/16",
+            "10.6.0.0/16",
+            cipher_suite=CipherSuite.ONE_TIME_PAD,
+            qkd_bits_per_rekey=4096,
+        )
+        delivered = vpn.send("10.5.0.1", "10.6.0.1", b"topmost secret")
+        assert delivered is not None and delivered.payload == b"topmost secret"
+
+    def test_top_up_credits_both_pools(self, vpn):
+        before_alice = vpn.link.engine.alice_pool.available_bits
+        before_bob = vpn.link.engine.bob_pool.available_bits
+        vpn.top_up(512)
+        assert vpn.link.engine.alice_pool.available_bits == before_alice + 512
+        assert vpn.link.engine.bob_pool.available_bits == before_bob + 512
+
+    def test_top_up_never_repeats_key_material(self, vpn):
+        """Repeated reservoir credits must be fresh bits, never a repeated
+        pad (one-time-pad SAs draw from these pools)."""
+        vpn.top_up(256)
+        vpn.top_up(256)
+        pool = vpn.link.engine.alice_pool
+        assert pool.blocks[-1].bits != pool.blocks[-2].bits
+
+
+class TestMeshFacade:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return QKDSystem(seed=7).mesh(n_endpoints=3, n_relays=4)
+
+    def test_mesh_assembles_network(self, mesh):
+        assert isinstance(mesh, MeshSystem)
+        assert set(mesh.endpoints()) == {"endpoint-0", "endpoint-1", "endpoint-2"}
+
+    def test_transport_key(self, mesh):
+        result = mesh.transport_key("endpoint-0", "endpoint-1")
+        assert result.success
+        assert result.key is not None and len(result.key) == 256
+
+    def test_reroute_after_fiber_cut(self, mesh):
+        healthy = mesh.transport_key("endpoint-0", "endpoint-1")
+        assert healthy.success
+        mesh.network.cut_link(healthy.path[1], healthy.path[2])
+        rerouted = mesh.transport_with_reroute("endpoint-0", "endpoint-1")
+        assert rerouted.success
+        assert rerouted.path != healthy.path
+
+    def test_run_links_for_adds_pairwise_key(self, mesh):
+        # Skip any link an earlier test in this class cut.
+        edge = next(e for e in mesh.network.links() if e.usable)
+        before = mesh.relays.pairwise_key_available_bits(edge.node_a, edge.node_b)
+        mesh.run_links_for(10.0)
+        after = mesh.relays.pairwise_key_available_bits(edge.node_a, edge.node_b)
+        assert after > before
+
+
+class TestPackageExports:
+    def test_facade_reexported_at_top_level(self):
+        import repro
+
+        assert repro.QKDSystem is QKDSystem
+        for name in ("QKDSystem", "SystemConfig", "VPNSystem", "MeshSystem"):
+            assert name in repro.__all__

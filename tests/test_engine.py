@@ -57,6 +57,15 @@ class TestDistillBlock:
         assert n > 0
         assert engine.alice_pool.draw_bits(n) == engine.bob_pool.draw_bits(n)
 
+    def test_pool_blocks_are_independent_copies(self):
+        """The endpoints' KeyBlocks must never share a BitString object."""
+        engine = QKDProtocolEngine(rng=DeterministicRNG(4))
+        alice, bob = noisy_pair(2048, 0.06, seed=5)
+        engine.distill_block(alice, bob, transmitted_pulses=500_000)
+        for alice_block, bob_block in zip(engine.alice_pool.blocks, engine.bob_pool.blocks):
+            assert alice_block.bits == bob_block.bits
+            assert alice_block.bits is not bob_block.bits
+
     def test_high_qber_aborts(self):
         """QBER above the alarm threshold is treated as eavesdropping."""
         engine = QKDProtocolEngine(rng=DeterministicRNG(6))
@@ -146,6 +155,37 @@ class TestFrameProcessing:
 
     def test_flush_empty_engine(self):
         assert QKDProtocolEngine(rng=DeterministicRNG(22)).flush() is None
+
+    def test_flush_partial_block_distills_into_pools(self, paper_channel):
+        """A flushed sub-block-size remainder still runs the full pipeline."""
+        engine = QKDProtocolEngine(
+            EngineParameters(block_size_bits=100_000), DeterministicRNG(30)
+        )
+        # Enough slots that the partial block clears the confidence margin
+        # and actually distills bits (~1.6 sifted bits per 1000 slots).
+        engine.process_frame(paper_channel.transmit(1_500_000))
+        outcome = engine.flush()
+        assert outcome is not None
+        assert not outcome.aborted
+        assert 0 < outcome.sifted_bits < 100_000
+        assert outcome.distilled_bits > 0
+        # The distilled remainder landed in both pools, identically.
+        assert engine.alice_pool.available_bits == outcome.distilled_bits
+        assert engine.keys_match
+        # The accumulator is drained: a second flush has nothing to do.
+        assert engine.flush() is None
+
+    def test_flush_then_more_frames_resumes_accumulation(self, paper_channel):
+        engine = QKDProtocolEngine(
+            EngineParameters(block_size_bits=100_000), DeterministicRNG(31)
+        )
+        engine.process_frame(paper_channel.transmit(300_000))
+        first = engine.flush()
+        engine.process_frame(paper_channel.transmit(300_000))
+        second = engine.flush()
+        assert first is not None and second is not None
+        assert second.block_id == first.block_id + 1
+        assert len(engine.outcomes) == 2
 
     def test_mean_qber_statistic(self, paper_channel):
         engine = QKDProtocolEngine(rng=DeterministicRNG(23))
