@@ -7,8 +7,20 @@ the same rows/series the paper reports and assert the qualitative *shape*
 the paper does not fully specify and are recorded in EXPERIMENTS.md instead.
 
 Run with:  pytest benchmarks/ --benchmark-only
+
+Machine-readable output
+-----------------------
+
+Set ``BENCH_JSON_DIR=<directory>`` to additionally write every table a
+benchmark prints to ``BENCH_<module>.json`` in that directory (one file per
+benchmark module, a list of ``{test, title, headers, rows}`` objects,
+appended across tests in the same run).  CI and the perf-trajectory tooling
+diff these files across PRs; the before/after numbers quoted in a PR should
+come from here rather than from eyeballing the stderr tables.
 """
 
+import json
+import os
 import sys
 
 import pytest
@@ -28,10 +40,62 @@ def emit(title, headers, rows):
         print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)), file=sys.stderr)
 
 
+#: Files already written by this pytest run; the first table for a module in
+#: a run truncates any file left over from a previous run, so entries only
+#: accumulate within one session and the trajectory tooling never sees stale
+#: rows.
+_JSON_FILES_THIS_RUN = set()
+
+
+def _record_json(module_name, test_name, title, headers, rows):
+    """Append one table to ``BENCH_<module>.json`` if BENCH_JSON_DIR is set."""
+    out_dir = os.environ.get("BENCH_JSON_DIR")
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{module_name}.json")
+    entries = []
+    if path in _JSON_FILES_THIS_RUN:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entries = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            entries = []
+    _JSON_FILES_THIS_RUN.add(path)
+    entries.append(
+        {
+            "test": test_name,
+            "title": title,
+            "headers": list(headers),
+            "rows": [[_plain(cell) for cell in row] for row in rows],
+        }
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entries, handle, indent=1)
+        handle.write("\n")
+
+
+def _plain(cell):
+    """Coerce a table cell to a JSON-native type (numbers stay numbers)."""
+    if isinstance(cell, (int, float, str, bool)) or cell is None:
+        return cell
+    return str(cell)
+
+
 @pytest.fixture
-def table():
-    """Fixture exposing the table printer to benchmark functions."""
-    return emit
+def table(request):
+    """Fixture exposing the table printer to benchmark functions.
+
+    Prints to stderr always; mirrors the table into ``BENCH_<module>.json``
+    when ``BENCH_JSON_DIR`` is set (see module docstring).
+    """
+    module_name = request.node.module.__name__.rpartition(".")[2]
+
+    def _table(title, headers, rows):
+        emit(title, headers, rows)
+        _record_json(module_name, request.node.name, title, headers, rows)
+
+    return _table
 
 
 def run_once(benchmark, fn):

@@ -83,12 +83,19 @@ class AuthenticatedChannel:
 
     def tag_transcript(self, log: PublicChannelLog) -> AuthenticationTagMessage:
         """Produce a tag covering every message currently in the transcript."""
+        return self.tag_payload(log.transcript_bytes(), covered_messages=len(log))
+
+    def tag_payload(
+        self, payload: bytes, covered_messages: int
+    ) -> AuthenticationTagMessage:
+        """Tag an already-serialized transcript (callers that tag and verify
+        the same log can serialize it once and reuse the bytes)."""
         before = self.pool.consumed_bits
-        tag = self.authenticator.tag(log.transcript_bytes())
+        tag = self.authenticator.tag(payload)
         self.statistics.batches_tagged += 1
         self.statistics.secret_bits_consumed += self.pool.consumed_bits - before
         return AuthenticationTagMessage(
-            covered_messages=len(log), tag_bits=tag.to_list()
+            covered_messages=covered_messages, tag_bits=tag.to_list()
         )
 
     def verify_transcript(
@@ -99,10 +106,16 @@ class AuthenticatedChannel:
         Raises :class:`AuthenticationError` if the transcript was tampered
         with (or the peer does not hold the same secret pool — i.e. is Eve).
         """
+        self.verify_payload(log.transcript_bytes(), tag_message)
+
+    def verify_payload(
+        self, payload: bytes, tag_message: AuthenticationTagMessage
+    ) -> None:
+        """Verify a peer's tag over an already-serialized transcript."""
         before = self.pool.consumed_bits
         self.statistics.batches_verified += 1
         try:
-            self.authenticator.verify(log.transcript_bytes(), tag_message.tag)
+            self.authenticator.verify(payload, tag_message.tag)
         except AuthenticationError:
             self.statistics.verification_failures += 1
             raise

@@ -35,7 +35,7 @@ Shannon limit ``n·h(e)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional
 
 from repro.core.messages import (
     CascadeBisectQuery,
@@ -127,20 +127,40 @@ class CascadeResult:
 
 
 class _SubsetRecord:
-    """One announced parity subset, as both sides record it."""
+    """One announced parity subset, as both sides record it.
 
-    __slots__ = ("seed", "indices", "index_set", "reference_parity", "working_parity")
+    The subset lives in two forms: ``indices`` (ascending positions, the wire
+    representation Cascade bisects over) and ``mask`` (the same positions as
+    an LSB-first bit mask, bit ``i`` = key position ``i``), so parity checks
+    are a word-wide AND-popcount instead of a per-index walk.  ``prefix`` is
+    built lazily on first bisection: ``prefix[j]`` masks ``indices[:j]``, so
+    any contiguous sub-segment's mask is one XOR of two prefixes.
+    """
 
-    def __init__(self, seed: int, indices: List[int], reference_parity: int, working_parity: int):
+    __slots__ = ("seed", "indices", "mask", "prefix", "reference_parity", "working_parity")
+
+    def __init__(self, seed: int, indices: List[int], mask: int, reference_parity: int, working_parity: int):
         self.seed = seed
         self.indices = indices
-        self.index_set: Set[int] = set(indices)
+        self.mask = mask
+        self.prefix: Optional[List[int]] = None
         self.reference_parity = reference_parity
         self.working_parity = working_parity
 
     @property
     def mismatched(self) -> bool:
         return self.reference_parity != self.working_parity
+
+    def segment_mask(self, lo: int, hi: int) -> int:
+        """Mask of ``indices[lo:hi]`` via the lazily built prefix masks."""
+        if self.prefix is None:
+            prefix = [0] * (len(self.indices) + 1)
+            accumulated = 0
+            for position, index in enumerate(self.indices):
+                accumulated |= 1 << index
+                prefix[position + 1] = accumulated
+            self.prefix = prefix
+        return self.prefix[hi] ^ self.prefix[lo]
 
 
 class CascadeProtocol:
@@ -190,52 +210,55 @@ class CascadeProtocol:
                 message_log=log,
             )
 
-        working = working_key.to_list()
-        reference = reference_key  # Alice's side; only parities of it are disclosed.
+        # Both keys and every subset live as LSB-first packed words (bit i =
+        # key position i) so parity checks are AND-plus-popcount.
+        working = working_key.to_int_lsb()
+        reference = reference_key.to_int_lsb()  # only parities of it are disclosed
 
         disclosed = 0
         bisections = 0
         errors_corrected = 0
-        rank_tracker = IncrementalGF2Rank()
+        rank_tracker = IncrementalGF2Rank(columns=n)
         records: List[_SubsetRecord] = []
 
-        def disclose_subset_parity(indices: List[int]) -> int:
-            """Alice discloses the reference parity of an index set."""
+        def disclose_mask_parity(mask: int) -> int:
+            """Alice discloses the reference parity of a subset mask."""
             nonlocal disclosed
             disclosed += 1
-            rank_tracker.add_indices(indices)
-            return reference.subset_parity(indices)
+            rank_tracker.add(mask)
+            return (reference & mask).bit_count() & 1
 
-        def working_parity(indices: List[int]) -> int:
-            parity = 0
-            for index in indices:
-                parity ^= working[index]
-            return parity
+        def working_parity(mask: int) -> int:
+            return (working & mask).bit_count() & 1
 
         def fix_bit(index: int) -> None:
             """Flip the located error bit and update every recorded parity."""
-            nonlocal errors_corrected
-            working[index] ^= 1
+            nonlocal working, errors_corrected
+            working ^= 1 << index
             errors_corrected += 1
             for record in records:
-                if index in record.index_set:
+                if (record.mask >> index) & 1:
                     record.working_parity ^= 1
 
         def bisect(record: _SubsetRecord, round_index: int, subset_index: int) -> None:
-            """Divide-and-conquer search for one error inside a mismatched subset."""
+            """Divide-and-conquer search for one error inside a mismatched subset.
+
+            The live segment is always ``record.indices[lo:hi]``, so its mask
+            comes from the record's prefix masks in one XOR per level.
+            """
             nonlocal disclosed, bisections
-            segment = list(record.indices)
-            while len(segment) > 1:
-                half = len(segment) // 2
-                first_half = segment[:half]
+            lo, hi = 0, len(record.indices)
+            while hi - lo > 1:
+                mid = lo + (hi - lo) // 2
                 log.record(
                     CascadeBisectQuery(
                         round_index=round_index,
                         subset_index=subset_index,
-                        indices=tuple(first_half),
+                        indices=tuple(record.indices[lo:mid]),
                     )
                 )
-                reference_parity = disclose_subset_parity(first_half)
+                half_mask = record.segment_mask(lo, mid)
+                reference_parity = disclose_mask_parity(half_mask)
                 bisections += 1
                 log.record(
                     CascadeBisectReply(
@@ -244,11 +267,11 @@ class CascadeProtocol:
                         parity=reference_parity,
                     )
                 )
-                if working_parity(first_half) != reference_parity:
-                    segment = first_half
+                if working_parity(half_mask) != reference_parity:
+                    hi = mid
                 else:
-                    segment = segment[half:]
-            fix_bit(segment[0])
+                    lo = mid
+            fix_bit(record.indices[lo])
 
         def work_all_mismatches(round_index: int) -> None:
             """Bisect every mismatched record until all recorded parities agree."""
@@ -277,16 +300,18 @@ class CascadeProtocol:
             block_parities: List[int] = []
             block_seeds: List[int] = []
             for start in range(0, n, block_size):
-                indices = list(range(start, min(start + block_size, n)))
-                reference_parity = disclose_subset_parity(indices)
+                stop = min(start + block_size, n)
+                mask = ((1 << (stop - start)) - 1) << start
+                reference_parity = disclose_mask_parity(mask)
                 block_parities.append(reference_parity)
                 block_seeds.append(start)  # blocks are identified by offset, not seed
                 records.append(
                     _SubsetRecord(
                         seed=start,
-                        indices=indices,
+                        indices=list(range(start, stop)),
+                        mask=mask,
                         reference_parity=reference_parity,
-                        working_parity=working_parity(indices),
+                        working_parity=working_parity(mask),
                     )
                 )
             log.record(
@@ -314,16 +339,17 @@ class CascadeProtocol:
             round_records: List[_SubsetRecord] = []
             announcement_parities: List[int] = []
             for seed in seeds:
-                mask = lfsr_subset_mask(seed, n, params.subset_density)
-                indices = [i for i, bit in enumerate(mask) if bit]
-                reference_parity = disclose_subset_parity(indices)
+                subset_bits = lfsr_subset_mask(seed, n, params.subset_density)
+                mask = subset_bits.to_int_lsb()
+                reference_parity = disclose_mask_parity(mask)
                 announcement_parities.append(reference_parity)
                 round_records.append(
                     _SubsetRecord(
                         seed=seed,
-                        indices=indices,
+                        indices=subset_bits.one_indices(),
+                        mask=mask,
                         reference_parity=reference_parity,
-                        working_parity=working_parity(indices),
+                        working_parity=working_parity(mask),
                     )
                 )
             log.record(
@@ -362,12 +388,11 @@ class CascadeProtocol:
         confirmed = True
         for _ in range(params.confirmation_parities):
             seed = self.rng.getrandbits(32)
-            mask = lfsr_subset_mask(seed, n, params.subset_density)
-            indices = [i for i, bit in enumerate(mask) if bit]
-            if disclose_subset_parity(indices) != working_parity(indices):
+            mask = lfsr_subset_mask(seed, n, params.subset_density).to_int_lsb()
+            if disclose_mask_parity(mask) != working_parity(mask):
                 confirmed = False
 
-        corrected = BitString(working)
+        corrected = BitString.from_int_lsb(working, n)
         return CascadeResult(
             corrected_key=corrected,
             errors_corrected=errors_corrected,

@@ -158,14 +158,15 @@ class SiftingProtocol:
         self, frame: FrameResult, sift_message: SiftMessage
     ) -> SiftResponseMessage:
         """Alice accepts the detections whose reported basis matches hers."""
-        flags = run_length_decode(sift_message.detection_runs, frame.n_slots)
-        detected_slots = [i for i, flag in enumerate(flags) if flag]
+        detected_slots = _decode_detected_slots(sift_message, frame.n_slots)
         if len(detected_slots) != len(sift_message.detected_bases):
             raise ValueError("sift message bases do not match the detection runs")
-        accept_mask = []
-        for slot, bob_basis in zip(detected_slots, sift_message.detected_bases):
-            accept_mask.append(1 if int(frame.alice_basis[slot]) == int(bob_basis) else 0)
-        return SiftResponseMessage(frame_id=self.frame_id, accept_mask=accept_mask)
+        accept = np.asarray(frame.alice_basis)[detected_slots].astype(int) == np.asarray(
+            sift_message.detected_bases, dtype=int
+        )
+        return SiftResponseMessage(
+            frame_id=self.frame_id, accept_mask=accept.astype(int).tolist()
+        )
 
     # -- Both sides ------------------------------------------------------ #
 
@@ -174,23 +175,44 @@ class SiftingProtocol:
         sift_message = self.build_sift_message(frame)
         sift_response = self.build_sift_response(frame, sift_message)
 
-        flags = run_length_decode(sift_message.detection_runs, frame.n_slots)
-        detected_slots = [i for i, flag in enumerate(flags) if flag]
-
-        kept_slots = [
-            slot
-            for slot, accepted in zip(detected_slots, sift_response.accept_mask)
-            if accepted
-        ]
-        alice_key = BitString(int(frame.alice_value[slot]) for slot in kept_slots)
-        bob_key = BitString(int(frame.bob_value[slot]) for slot in kept_slots)
+        detected_slots = _decode_detected_slots(sift_message, frame.n_slots)
+        kept = detected_slots[np.asarray(sift_response.accept_mask, dtype=bool)]
 
         return SiftResult(
-            alice_key=alice_key,
-            bob_key=bob_key,
-            slot_indices=kept_slots,
+            alice_key=_extract_key_bits(frame.alice_value, kept),
+            bob_key=_extract_key_bits(frame.bob_value, kept),
+            slot_indices=kept.tolist(),
             n_slots_transmitted=frame.n_slots,
             n_detections_reported=len(detected_slots),
             sift_message=sift_message,
             sift_response=sift_response,
         )
+
+
+def _decode_detected_slots(sift_message: SiftMessage, n_slots: int) -> np.ndarray:
+    """Slot indices of the reported detections, decoded from the run lengths."""
+    runs = np.asarray(sift_message.detection_runs, dtype=np.intp)
+    if np.any(runs < 0):
+        raise ValueError("run lengths must be non-negative")
+    if int(runs.sum()) != n_slots:
+        raise ValueError(
+            f"decoded length {int(runs.sum())} does not match expected {n_slots}"
+        )
+    # Runs alternate zeros/ones starting with zeros: detections are the slots
+    # covered by the odd-position runs.
+    flags = np.repeat(np.arange(len(runs), dtype=np.intp) & 1, runs)
+    return np.nonzero(flags)[0]
+
+
+def _extract_key_bits(values: np.ndarray, slots: np.ndarray) -> BitString:
+    """Gather the bit values at ``slots`` into a packed :class:`BitString`.
+
+    ``np.packbits`` packs most-significant-bit first, matching the
+    :meth:`BitString.from_bytes` convention; the zero padding it appends to
+    the last byte is sliced off by length.
+    """
+    n = len(slots)
+    if n == 0:
+        return BitString()
+    picked = np.asarray(values)[slots].astype(np.uint8)
+    return BitString.from_bytes(np.packbits(picked).tobytes())[:n]

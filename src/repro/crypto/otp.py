@@ -75,9 +75,16 @@ class OneTimePad:
     # ------------------------------------------------------------------ #
 
     def encrypt(self, plaintext: bytes) -> bytes:
-        """XOR the plaintext with the next pad bytes (consuming them)."""
+        """XOR the plaintext with the next pad bytes (consuming them).
+
+        The XOR runs whole-word over packed integers rather than per byte.
+        """
         pad = self._take(len(plaintext))
-        return bytes(p ^ k for p, k in zip(plaintext, pad))
+        if not plaintext:
+            return b""
+        return (
+            int.from_bytes(plaintext, "big") ^ int.from_bytes(pad, "big")
+        ).to_bytes(len(plaintext), "big")
 
     def decrypt(self, ciphertext: bytes) -> bytes:
         """XOR the ciphertext with the next pad bytes (consuming them).

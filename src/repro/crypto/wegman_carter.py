@@ -21,11 +21,24 @@ at construction time.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.mathkit.toeplitz import ToeplitzHash
 from repro.util.bits import BitString
+
+# Memo of transcript digests keyed by (hash seed, geometry, payload sha256).
+# The universal-hash digest is a pure function of those inputs, and the
+# simulation computes it redundantly: one engine drives both endpoints, whose
+# authenticators share identical seeds, so a block's tag / verify / tag-back /
+# verify-back all hash the same transcript.  A real deployment hashes once
+# per side; the memo removes the simulation artifact without touching the
+# construction.  Keys hold a fixed-size fingerprint (not the payload), so the
+# memo stays small; it is bounded LRU regardless.
+_DIGEST_MEMO: "OrderedDict[tuple, int]" = OrderedDict()
+_DIGEST_MEMO_SIZE = 64
 
 
 class AuthenticationError(Exception):
@@ -113,14 +126,52 @@ class WegmanCarterAuthenticator:
     # ------------------------------------------------------------------ #
 
     def _hash_message(self, message: bytes) -> BitString:
-        """Hash an arbitrary-length message by chaining fixed-size blocks."""
-        bits = BitString.from_bytes(message)
-        # Append a length marker so messages that differ only by trailing
-        # zero-padding hash differently.
-        bits = bits + BitString.from_int(len(message) % (1 << 32), 32)
+        """Hash a message, memoizing by content fingerprint (see module note)."""
+        memo_key = (
+            self._hash.diagonal_bits.to_int(),
+            self.block_bits,
+            self.tag_bits,
+            hashlib.sha256(message).digest(),
+        )
+        cached = _DIGEST_MEMO.get(memo_key)
+        if cached is not None:
+            _DIGEST_MEMO.move_to_end(memo_key)
+            return BitString.from_int(cached, self.tag_bits)
+        digest = self._hash_message_uncached(message)
+        _DIGEST_MEMO[memo_key] = digest.to_int()
+        if len(_DIGEST_MEMO) > _DIGEST_MEMO_SIZE:
+            _DIGEST_MEMO.popitem(last=False)
+        return digest
+
+    def _hash_message_uncached(self, message: bytes) -> BitString:
+        """Hash an arbitrary-length message by chaining fixed-size blocks.
+
+        Each block hashed is ``digest || chunk`` zero-padded to ``block_bits``;
+        the message bits are consumed ``block_bits - tag_bits`` at a time with
+        a 32-bit length marker appended (so messages that differ only by
+        trailing zero-padding hash differently).  The whole chain runs on
+        packed words: the message plus marker is always a whole number of
+        bytes, and when the chunk payload is byte-aligned (every default
+        configuration) each chunk is sliced directly out of the byte string —
+        no per-bit work anywhere on the transcript hot path.
+        """
+        payload = self.block_bits - self.tag_bits
+        data = message + (len(message) % (1 << 32)).to_bytes(4, "big")
+        if payload % 8 == 0:
+            payload_bytes = payload // 8
+            digest = 0
+            for start in range(0, len(data), payload_bytes):
+                chunk = data[start : start + payload_bytes]
+                chunk_bits = 8 * len(chunk)
+                padded = (digest << chunk_bits) | int.from_bytes(chunk, "big")
+                padded <<= self.block_bits - self.tag_bits - chunk_bits
+                digest = self._hash.hash_value(padded)
+            return BitString.from_int(digest, self.tag_bits)
+        # Non-byte-aligned payloads (exotic tag/block configurations) take the
+        # equivalent BitString path.
+        bits = BitString.from_bytes(data)
         digest = BitString.zeros(self.tag_bits)
-        chunk_payload = self.block_bits - self.tag_bits
-        for chunk in bits.chunks(chunk_payload) or [BitString()]:
+        for chunk in bits.chunks(payload) or [BitString()]:
             padded = digest + chunk
             if len(padded) < self.block_bits:
                 padded = padded + BitString.zeros(self.block_bits - len(padded))

@@ -48,15 +48,9 @@ class GF2Matrix:
         for row in rows:
             if len(row) != width:
                 raise ValueError("all rows must have the same length")
-        # Bit j of the integer corresponds to column j, i.e. row[j].
-        values = []
-        for row in rows:
-            value = 0
-            for j, bit in enumerate(row):
-                if bit:
-                    value |= 1 << j
-            values.append(value)
-        return cls(values, width)
+        # Bit j of the integer corresponds to column j, i.e. row[j] — the
+        # LSB-first packing BitString exposes directly.
+        return cls([row.to_int_lsb() for row in rows], width)
 
     @classmethod
     def from_index_sets(cls, subsets: Sequence[Iterable[int]], columns: int) -> "GF2Matrix":
@@ -86,7 +80,8 @@ class GF2Matrix:
 
     def row_bits(self, i: int) -> BitString:
         """Row ``i`` as a :class:`BitString` (column order)."""
-        return BitString(((self.rows[i] >> j) & 1) for j in range(self.columns))
+        # The row mask is LSB-first (bit j = column j).
+        return BitString.from_int_lsb(self.rows[i], self.columns)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, GF2Matrix):
@@ -110,24 +105,17 @@ class GF2Matrix:
             raise ValueError(
                 f"vector length {len(vector)} does not match column count {self.columns}"
             )
-        packed = 0
-        for j, bit in enumerate(vector):
-            if bit:
-                packed |= 1 << j
-        result = []
+        packed = vector.to_int_lsb()
+        value = 0
         for row in self.rows:
-            result.append(bin(row & packed).count("1") & 1)
-        return BitString(result)
+            value = (value << 1) | ((row & packed).bit_count() & 1)
+        return BitString.from_int(value, len(self.rows))
 
     def append_row(self, row: BitString) -> "GF2Matrix":
         """Return a new matrix with the given row appended."""
         if len(row) != self.columns:
             raise ValueError("row length must match column count")
-        value = 0
-        for j, bit in enumerate(row):
-            if bit:
-                value |= 1 << j
-        return GF2Matrix(self.rows + [value], self.columns)
+        return GF2Matrix(self.rows + [row.to_int_lsb()], self.columns)
 
 
 def gf2_rank(rows: Iterable[int]) -> int:
@@ -155,25 +143,35 @@ class IncrementalGF2Rank:
     Cascade discloses parities one message at a time; this class lets the
     protocol engine update the independent-leakage count in O(rank) per new
     subset instead of recomputing the full rank each round.
+
+    The basis is kept in reduced form indexed by pivot bit (the lowest set
+    bit of each basis row, which is unique by construction), so reducing a
+    new row touches only the pivots that actually hit it instead of scanning
+    the whole basis.  When the column count is known, pass it so the tracker
+    can stop reducing the moment the basis spans the full space.
     """
 
-    def __init__(self) -> None:
-        self._basis: List[int] = []
+    def __init__(self, columns: Optional[int] = None) -> None:
+        self._pivots: dict = {}
+        self.columns = columns
 
     @property
     def rank(self) -> int:
-        return len(self._basis)
+        return len(self._pivots)
 
     def add(self, row_mask: int) -> bool:
         """Add a row; return True if it increased the rank (was independent)."""
+        pivots = self._pivots
+        if self.columns is not None and len(pivots) >= self.columns:
+            return False  # basis already spans the space; nothing can be new
         value = int(row_mask)
-        for pivot in self._basis:
-            pivot_bit = pivot & -pivot
-            if value & pivot_bit:
-                value ^= pivot
-        if value:
-            self._basis.append(value)
-            return True
+        while value:
+            low_bit = value & -value
+            pivot = pivots.get(low_bit)
+            if pivot is None:
+                pivots[low_bit] = value
+                return True
+            value ^= pivot
         return False
 
     def add_indices(self, indices: Iterable[int]) -> bool:

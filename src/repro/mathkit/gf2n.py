@@ -100,16 +100,25 @@ def polynomial_from_exponents(degree: int, exponents: Iterable[int]) -> int:
 
 
 def carryless_multiply(a: int, b: int) -> int:
-    """Carry-less (polynomial) product of two GF(2) polynomials as integers."""
+    """Carry-less (polynomial) product of two GF(2) polynomials as integers.
+
+    Evaluated with a 16-entry window table over 4-bit nibbles of ``b``, so the
+    cost is ``O(bits(b)/4)`` big-int operations rather than one shift-XOR per
+    set bit — the shape that matters for the privacy-amplification fields,
+    whose operands run to hundreds of bits.
+    """
     if a < 0 or b < 0:
         raise ValueError("polynomial operands must be non-negative")
+    if a == 0 or b == 0:
+        return 0
+    table = [0] * 16
+    for w in range(1, 16):
+        table[w] = (table[w >> 1] << 1) ^ (a if w & 1 else 0)
     result = 0
-    shift = 0
-    while b:
-        if b & 1:
-            result ^= a << shift
-        b >>= 1
-        shift += 1
+    shift = (b.bit_length() + 3) // 4 * 4
+    while shift:
+        shift -= 4
+        result = (result << 4) ^ table[(b >> shift) & 0xF]
     return result
 
 
@@ -202,6 +211,7 @@ class GF2nField:
         self.exponents = tuple(sorted(exponents, reverse=True))
         self.modulus = polynomial_from_exponents(degree, exponents)
         self.order = (1 << degree) - 1
+        self._element_mask = (1 << degree) - 1
 
     # ------------------------------------------------------------------ #
 
@@ -236,7 +246,26 @@ class GF2nField:
     def multiply(self, a: int, b: int) -> int:
         """Field multiplication modulo the primitive polynomial."""
         product = carryless_multiply(self._check(a), self._check(b))
-        return polynomial_mod(product, self.modulus)
+        return self._reduce(product)
+
+    def _reduce(self, value: int) -> int:
+        """Reduce modulo the field polynomial, exploiting its sparseness.
+
+        Because ``x^degree = sum x^e + 1 (mod f)`` with every ``e`` small, the
+        whole overflow half folds back in one pass per (tiny) middle-term
+        degree: a 2n-bit product reduces in two or three passes of word-wide
+        XORs instead of one generic division step per overflow bit.
+        """
+        degree = self.degree
+        mask = self._element_mask
+        exponents = self.exponents
+        while value >> degree:
+            high = value >> degree
+            value &= mask
+            value ^= high
+            for e in exponents:
+                value ^= high << e
+        return value
 
     def power(self, base: int, exponent: int) -> int:
         """Field exponentiation by square-and-multiply."""

@@ -12,7 +12,7 @@ that expands a 32-bit seed into a subset mask over ``n`` key positions.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.util.bits import BitString
 
@@ -20,6 +20,40 @@ from repro.util.bits import BitString
 # x^32 + x^22 + x^2 + x + 1), the classic choice for 32-bit registers.
 DEFAULT_TAPS_32 = 0x80200003
 DEFAULT_WIDTH = 32
+
+# Byte-stepping tables, keyed by (taps, width) and shared by every register
+# with the same polynomial.  The Galois step is linear over GF(2), so eight
+# steps from state s decompose as the XOR of eight-step images of s's bytes:
+# tables[k][b] = (state after 8 steps, 8 output bits MSB-first) for the state
+# contribution b << 8k.  Cascade expands half a million subset-mask bits per
+# block through these registers, which is why bits() batches by byte.
+_BYTE_TABLES: Dict[Tuple[int, int], List[List[Tuple[int, int]]]] = {}
+
+
+def _byte_tables(taps: int, width: int) -> List[List[Tuple[int, int]]]:
+    key = (taps, width)
+    tables = _BYTE_TABLES.get(key)
+    if tables is None:
+        feedback = (taps >> 1) | (1 << (width - 1))
+        mask = (1 << width) - 1
+
+        def step8(state: int) -> Tuple[int, int]:
+            out = 0
+            for k in range(8):
+                bit = state & 1
+                state >>= 1
+                if bit:
+                    state ^= feedback
+                out |= bit << (7 - k)
+            return state & mask, out
+
+        n_bytes = (width + 7) // 8
+        tables = [
+            [step8((value << (8 * position)) & mask) for value in range(256)]
+            for position in range(n_bytes)
+        ]
+        _BYTE_TABLES[key] = tables
+    return tables
 
 
 class LFSR:
@@ -50,10 +84,32 @@ class LFSR:
         return output
 
     def bits(self, count: int) -> BitString:
-        """Produce the next ``count`` output bits."""
+        """Produce the next ``count`` output bits.
+
+        Produces the exact per-:meth:`step` stream, but eight steps at a time
+        through the shared byte tables (the step map is linear over GF(2)),
+        with a per-bit tail for the last ``count % 8`` bits.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
-        return BitString(self.step() for _ in range(count))
+        value = 0
+        whole_bytes, tail = divmod(count, 8)
+        if whole_bytes:
+            tables = _byte_tables(self.taps, self.width)
+            state = self.state
+            for _ in range(whole_bytes):
+                new_state = 0
+                out = 0
+                for position, table in enumerate(tables):
+                    state_part, out_part = table[(state >> (8 * position)) & 0xFF]
+                    new_state ^= state_part
+                    out ^= out_part
+                state = new_state
+                value = (value << 8) | out
+            self.state = state
+        for _ in range(tail):
+            value = (value << 1) | self.step()
+        return BitString.from_int(value, count)
 
     def stream(self) -> Iterator[int]:
         """An endless iterator of output bits."""
@@ -104,5 +160,4 @@ def lfsr_subset_mask(seed: int, length: int, density: float = 0.5) -> BitString:
 
 def subset_indices_from_seed(seed: int, length: int, density: float = 0.5) -> List[int]:
     """The indices selected by :func:`lfsr_subset_mask` (convenience for Cascade)."""
-    mask = lfsr_subset_mask(seed, length, density)
-    return [i for i, bit in enumerate(mask) if bit]
+    return lfsr_subset_mask(seed, length, density).one_indices()

@@ -6,6 +6,45 @@ authentication.  An ``m x n`` Toeplitz matrix is defined by its first row and
 first column (``m + n - 1`` random bits); multiplying the key vector by the
 matrix over GF(2) compresses ``n`` bits to ``m`` bits.
 
+Bit-order convention
+--------------------
+
+The matrix entry at (row ``r``, column ``c``) is::
+
+    M[r][c] = diagonal_bits[r - c + input_bits - 1]
+
+for ``r`` in ``[0, output_bits)`` and ``c`` in ``[0, input_bits)``.  In words:
+
+* **Row 0** is ``diagonal_bits[0 : input_bits]`` *reversed* — entry (0, 0) is
+  ``diagonal_bits[input_bits - 1]``, and the column index increases toward the
+  *start* of the defining sequence (entry (0, n-1) is ``diagonal_bits[0]``).
+* Moving **down** one row shifts the window one position toward the *end* of
+  the defining sequence: row ``r`` is ``diagonal_bits[r : r + input_bits]``
+  reversed, so entry (r, 0) is ``diagonal_bits[r + input_bits - 1]``.
+* Equivalently, the first row and first column read
+  ``diagonal_bits[n-1], diagonal_bits[n-2], ... diagonal_bits[0]`` (row 0,
+  left to right) and ``diagonal_bits[n-1], diagonal_bits[n], ...,
+  diagonal_bits[m+n-2]`` (column 0, top to bottom).
+
+``tests/test_lfsr_toeplitz_entropy.py`` pins this convention explicitly so the
+packed implementation below cannot silently flip it.
+
+Packed implementation
+---------------------
+
+With the convention above, output bit ``r`` is the coefficient of
+``x^(m + n - 2 - r)`` in the GF(2) polynomial product ``D(x) * K(x)``, where
+``D`` is ``diagonal_bits`` and ``K`` the key, both read most-significant-bit
+first (the :meth:`~repro.util.bits.BitString.to_int` packing).  The whole hash
+is therefore one carry-less multiply followed by a shift-and-mask::
+
+    hash(key) = (clmul(D, K) >> (input_bits - 1)) & ((1 << output_bits) - 1)
+
+The multiply is evaluated with a 256-entry window table (precomputed once per
+hash instance): the key is consumed a byte at a time, so a call costs
+``O(n/8)`` big-int operations instead of the ``O(m * n)`` per-bit row masks
+the original implementation walked.
+
 The DARPA network's own privacy amplification uses the GF(2^n) linear hash of
 :mod:`repro.mathkit.gf2n`; the Toeplitz construction is provided as the second
 member of the family so the benchmark suite can compare the two (and because
@@ -35,18 +74,14 @@ class ToeplitzHash:
         self.input_bits = input_bits
         self.output_bits = output_bits
         self.diagonal_bits = diagonal_bits
-        # Precompute each row as an integer mask for fast multiply.
-        # Row i of the Toeplitz matrix is diagonal_bits[i : i + input_bits]
-        # reversed relative to the defining sequence convention below.
-        self._row_masks: List[int] = []
-        for row in range(output_bits):
-            mask = 0
-            for column in range(input_bits):
-                # Entry (row, column) = diagonal_bits[row - column + input_bits - 1]
-                bit = diagonal_bits[row - column + input_bits - 1]
-                if bit:
-                    mask |= 1 << column
-            self._row_masks.append(mask)
+        self._out_mask = (1 << output_bits) - 1
+        # 8-bit window table for the carry-less multiply: _window[w] is the
+        # GF(2) polynomial product diagonal * w for every byte value w.
+        diagonal = diagonal_bits.to_int()
+        table = [0] * 256
+        for w in range(1, 256):
+            table[w] = (table[w >> 1] << 1) ^ (diagonal if w & 1 else 0)
+        self._window = table
 
     # ------------------------------------------------------------------ #
 
@@ -76,21 +111,37 @@ class ToeplitzHash:
             raise ValueError(
                 f"expected a {self.input_bits}-bit input, got {len(key)} bits"
             )
-        packed = 0
-        for column, bit in enumerate(key):
-            if bit:
-                packed |= 1 << column
-        output = []
-        for mask in self._row_masks:
-            output.append(bin(mask & packed).count("1") & 1)
-        return BitString(output)
+        return BitString.from_int(self.hash_value(key.to_int()), self.output_bits)
+
+    def hash_value(self, key_value: int) -> int:
+        """Hash a key given as its packed integer (``BitString.to_int`` order).
+
+        Fast path for callers that already hold packed words (the Wegman-Carter
+        chaining loop); returns the packed ``output_bits``-bit tag value.
+        """
+        n = self.input_bits
+        # Left-align the key to a byte boundary; clmul(D, K << p) = P << p,
+        # so the padding only moves the extraction window.
+        n_bytes = (n + 7) // 8
+        pad = n_bytes * 8 - n
+        data = (key_value << pad).to_bytes(n_bytes, "big")
+        table = self._window
+        product = 0
+        for byte in data:
+            product = (product << 8) ^ table[byte]
+        return (product >> (pad + n - 1)) & self._out_mask
 
     def matrix_rows(self) -> List[BitString]:
-        """The rows of the Toeplitz matrix (mainly for tests and inspection)."""
-        rows = []
-        for mask in self._row_masks:
-            rows.append(BitString(((mask >> c) & 1) for c in range(self.input_bits)))
-        return rows
+        """The rows of the Toeplitz matrix (mainly for tests and inspection).
+
+        Row ``r`` is ``diagonal_bits[r : r + input_bits]`` reversed — see the
+        module docstring for the full entry-(r, c) convention.
+        """
+        n = self.input_bits
+        diagonal = self.diagonal_bits.to_list()
+        return [
+            BitString(reversed(diagonal[r : r + n])) for r in range(self.output_bits)
+        ]
 
     def seed_length(self) -> int:
         """Number of random bits that define this hash."""

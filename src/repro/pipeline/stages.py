@@ -55,8 +55,9 @@ class QberAlarmStage(PipelineStage):
         threshold = services.parameters.abort_qber
         if ctx.qber > threshold:
             services.statistics.blocks_aborted += 1
-            tag = services.alice_auth.tag_transcript(ctx.log)
-            services.bob_auth.verify_transcript(ctx.log, tag)
+            payload = ctx.log.transcript_bytes()
+            tag = services.alice_auth.tag_payload(payload, covered_messages=len(ctx.log))
+            services.bob_auth.verify_payload(payload, tag)
             ctx.abort(
                 f"QBER {ctx.qber:.1%} exceeds abort threshold "
                 f"{threshold:.1%} (possible eavesdropping)"
@@ -195,10 +196,14 @@ class AuthenticationStage(PipelineStage):
         services = self.services_for(ctx)
         ctx.authenticated = True
         try:
-            tag = services.alice_auth.tag_transcript(ctx.log)
-            services.bob_auth.verify_transcript(ctx.log, tag)
-            tag_back = services.bob_auth.tag_transcript(ctx.log)
-            services.alice_auth.verify_transcript(ctx.log, tag_back)
+            # Nothing is recorded to the log between the four operations, so
+            # the transcript is serialized once and the bytes shared.
+            payload = ctx.log.transcript_bytes()
+            covered = len(ctx.log)
+            tag = services.alice_auth.tag_payload(payload, covered_messages=covered)
+            services.bob_auth.verify_payload(payload, tag)
+            tag_back = services.bob_auth.tag_payload(payload, covered_messages=covered)
+            services.alice_auth.verify_payload(payload, tag_back)
         except AuthenticationError:
             ctx.authenticated = False
             ctx.abort("authentication failure")

@@ -11,46 +11,94 @@ stages a single well-tested representation with the operations they need:
 * conversion to and from ``bytes`` and ``int``,
 * Hamming distance and error counting between Alice's and Bob's keys.
 
-The class stores bits as a Python ``tuple`` of ints (0/1).  That is not the
-most memory-compact choice, but it is simple, hashable and fast enough for the
-key sizes the paper deals with (thousands to hundreds of thousands of bits),
-and it keeps every operation easy to reason about and test.
+Packed representation
+---------------------
+
+The class stores the bits *packed* into a single arbitrary-precision Python
+integer plus an explicit length.  **Bit order invariant:** bit ``i`` of the
+string is bit ``length - 1 - i`` of the integer — i.e. the string reads
+most-significant-bit first, so ``BitString.from_int(v, n).to_int() == v`` and
+the packed value *is* the ``to_int()`` value.  This makes the whole-string
+operations machine-word arithmetic on CPython's int limbs:
+
+===============================  ============================================
+operation                        cost
+===============================  ============================================
+``^``, ``&``, ``~``, equality    O(n / 64) word ops
+``popcount`` / ``parity``        O(n / 64) via ``int.bit_count()``
+``masked_parity``                O(n / 64) (AND then popcount)
+``hamming_distance``             O(n / 64) (XOR then popcount)
+``to_int`` / ``from_int``        O(1) / O(1) (value is stored packed)
+``to_bytes`` / ``from_bytes``    O(n / 64) via ``int.to_bytes``
+slicing (step 1), ``+``          O(n / 64) shift-and-mask
+iteration, ``to_list``           O(n) through a C-level binary string
+===============================  ============================================
+
+A pure-tuple reference implementation with the same public API is retained in
+:mod:`repro.util.bits_reference`; the differential test suite pins the two
+implementations against each other on randomized inputs.
 """
 
 from __future__ import annotations
 
+from itertools import groupby
 from typing import Iterable, Iterator, List, Sequence, Union
 
 
 class BitString:
-    """An immutable sequence of bits with cryptographic convenience methods."""
+    """An immutable sequence of bits with cryptographic convenience methods.
 
-    __slots__ = ("_bits",)
+    Internally a pair ``(_value, _length)``: ``_value`` holds the bits packed
+    most-significant-bit first (bit ``i`` of the string is bit
+    ``_length - 1 - i`` of ``_value``), so ``_value == self.to_int()``.
+    """
+
+    __slots__ = ("_value", "_length")
 
     def __init__(self, bits: Iterable[int] = ()):
-        values = tuple(int(b) for b in bits)
+        values = [int(b) for b in bits]
         for value in values:
             if value not in (0, 1):
                 raise ValueError(f"bit values must be 0 or 1, got {value}")
-        self._bits = values
+        self._length = len(values)
+        # int(str, 2) packs the list at C speed; the digits are already 0/1.
+        self._value = int("".join(map(str, values)), 2) if values else 0
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
 
     @classmethod
+    def _from_packed(cls, value: int, length: int) -> "BitString":
+        """Internal constructor from an already-validated packed value."""
+        self = object.__new__(cls)
+        self._value = value
+        self._length = length
+        return self
+
+    @classmethod
+    def from_packed(cls, value: int, length: int) -> "BitString":
+        """Build a bit string directly from its packed integer value.
+
+        Equivalent to :meth:`from_int` (most-significant bit first); exposed
+        under this name so call sites that already hold packed words can say
+        what they mean.
+        """
+        return cls.from_int(value, length)
+
+    @classmethod
     def zeros(cls, n: int) -> "BitString":
         """Return a bit string of ``n`` zero bits."""
         if n < 0:
             raise ValueError("length must be non-negative")
-        return cls([0] * n)
+        return cls._from_packed(0, n)
 
     @classmethod
     def ones(cls, n: int) -> "BitString":
         """Return a bit string of ``n`` one bits."""
         if n < 0:
             raise ValueError("length must be non-negative")
-        return cls([1] * n)
+        return cls._from_packed((1 << n) - 1, n)
 
     @classmethod
     def from_int(cls, value: int, length: int) -> "BitString":
@@ -63,28 +111,30 @@ class BitString:
             raise ValueError(f"value {value} does not fit in {length} bits")
         if length == 0 and value:
             raise ValueError("cannot encode a non-zero value in zero bits")
+        return cls._from_packed(value, length)
+
+    @classmethod
+    def from_int_lsb(cls, value: int, length: int) -> "BitString":
+        """Build a bit string from an integer packed least-significant-bit first.
+
+        Bit ``i`` of ``value`` becomes bit ``i`` of the string — the inverse
+        of :meth:`to_int_lsb`, and the orientation Cascade's subset masks and
+        :class:`repro.mathkit.gf2.GF2Matrix` rows use.
+        """
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if value >> length:
+            raise ValueError(f"value {value} does not fit in {length} bits")
         if length == 0:
             return cls()
-        # Go through the integer's byte representation so the conversion is
-        # linear in the length (per-bit shifting of a large int is quadratic,
-        # which matters for the megabit key pools the VPN experiments use).
-        n_bytes = (length + 7) // 8
-        padding = n_bytes * 8 - length
-        data = (value << padding).to_bytes(n_bytes, "big")
-        bits: List[int] = []
-        for byte in data:
-            for shift in range(7, -1, -1):
-                bits.append((byte >> shift) & 1)
-        return cls(bits[:length])
+        return cls._from_packed(int(format(value, f"0{length}b")[::-1], 2), length)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BitString":
         """Build a bit string from bytes, most-significant bit of each byte first."""
-        bits: List[int] = []
-        for byte in data:
-            for shift in range(7, -1, -1):
-                bits.append((byte >> shift) & 1)
-        return cls(bits)
+        return cls._from_packed(int.from_bytes(data, "big"), 8 * len(data))
 
     @classmethod
     def from_str(cls, text: str) -> "BitString":
@@ -92,7 +142,7 @@ class BitString:
         cleaned = text.replace(" ", "").replace("_", "")
         if any(ch not in "01" for ch in cleaned):
             raise ValueError(f"not a binary string: {text!r}")
-        return cls(int(ch) for ch in cleaned)
+        return cls._from_packed(int(cleaned, 2) if cleaned else 0, len(cleaned))
 
     @classmethod
     def random(cls, n: int, rng) -> "BitString":
@@ -110,82 +160,107 @@ class BitString:
 
     def to_int(self) -> int:
         """Interpret the bit string as an integer, most-significant bit first."""
-        value = 0
-        for bit in self._bits:
-            value = (value << 1) | bit
-        return value
+        return self._value
+
+    def to_int_lsb(self) -> int:
+        """The bits packed least-significant-bit first (bit ``i`` at position ``i``).
+
+        This is the orientation :class:`repro.mathkit.gf2.GF2Matrix` and the
+        Cascade mask arithmetic use, where "column j" is bit ``j`` of a word.
+        """
+        if self._length == 0:
+            return 0
+        return int(format(self._value, f"0{self._length}b")[::-1], 2)
 
     def to_bytes(self) -> bytes:
         """Pack into bytes (zero-padded on the right to a byte boundary)."""
-        if not self._bits:
+        if not self._length:
             return b""
-        padded = list(self._bits)
-        while len(padded) % 8:
-            padded.append(0)
-        out = bytearray()
-        for i in range(0, len(padded), 8):
-            byte = 0
-            for bit in padded[i : i + 8]:
-                byte = (byte << 1) | bit
-            out.append(byte)
-        return bytes(out)
+        n_bytes = (self._length + 7) // 8
+        return (self._value << (n_bytes * 8 - self._length)).to_bytes(n_bytes, "big")
 
     def to_list(self) -> List[int]:
         """Return the bits as a plain mutable list."""
-        return list(self._bits)
+        return [1 if ch == "1" else 0 for ch in self._bin()]
+
+    def one_indices(self) -> List[int]:
+        """Indices of the one bits, ascending (e.g. Cascade subset positions)."""
+        return [i for i, ch in enumerate(self._bin()) if ch == "1"]
 
     def copy(self) -> "BitString":
         """Return an independent ``BitString`` instance with the same bits.
 
         ``BitString`` is immutable, so aliasing is never unsafe — but key
         material handed to two protocol endpoints must not share an object,
-        so that each endpoint's state is verifiably self-contained.  Only
-        the wrapper object is new; the immutable bit tuple is shared, so
-        this is O(1) and skips re-validation.
+        so that each endpoint's state is verifiably self-contained.  Only the
+        wrapper object is new; this is O(1) and skips re-validation.
         """
-        dup = object.__new__(BitString)
-        dup._bits = self._bits
-        return dup
+        return BitString._from_packed(self._value, self._length)
+
+    def _bin(self) -> str:
+        """The bits as a ``'0'``/``'1'`` string (C-speed int formatting)."""
+        if self._length == 0:
+            return ""
+        return format(self._value, f"0{self._length}b")
 
     def __str__(self) -> str:
-        return "".join(str(b) for b in self._bits)
+        return self._bin()
 
     def __repr__(self) -> str:
-        if len(self._bits) <= 64:
+        if self._length <= 64:
             return f"BitString('{self}')"
-        head = "".join(str(b) for b in self._bits[:32])
-        return f"BitString('{head}...', len={len(self._bits)})"
+        head = self._bin()[:32]
+        return f"BitString('{head}...', len={self._length})"
 
     # ------------------------------------------------------------------ #
     # Sequence protocol
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self._bits)
+        return self._length
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self._bits)
+        return iter(self.to_list())
 
     def __getitem__(self, index: Union[int, slice]) -> Union[int, "BitString"]:
         if isinstance(index, slice):
-            return BitString(self._bits[index])
-        return self._bits[index]
+            start, stop, step = index.indices(self._length)
+            if step == 1:
+                if stop <= start:
+                    return BitString._from_packed(0, 0)
+                width = stop - start
+                value = (self._value >> (self._length - stop)) & ((1 << width) - 1)
+                return BitString._from_packed(value, width)
+            # Arbitrary strides are rare; go through the bit list.
+            bits = self.to_list()[index]
+            return BitString._from_packed(
+                int("".join(map(str, bits)), 2) if bits else 0, len(bits)
+            )
+        pos = index
+        if pos < 0:
+            pos += self._length
+        if not 0 <= pos < self._length:
+            raise IndexError("BitString index out of range")
+        return (self._value >> (self._length - 1 - pos)) & 1
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, BitString):
-            return self._bits == other._bits
+            return self._length == other._length and self._value == other._value
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._bits)
+        return hash((self._length, self._value))
 
     def __add__(self, other: "BitString") -> "BitString":
         if not isinstance(other, BitString):
             return NotImplemented
-        return BitString(self._bits + other._bits)
+        return BitString._from_packed(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
 
     def __bool__(self) -> bool:
-        return bool(self._bits)
+        return self._length > 0
 
     # ------------------------------------------------------------------ #
     # Bitwise operations
@@ -194,109 +269,123 @@ class BitString:
     def __xor__(self, other: "BitString") -> "BitString":
         if not isinstance(other, BitString):
             return NotImplemented
-        if len(other) != len(self):
+        if other._length != self._length:
             raise ValueError(
-                f"XOR requires equal lengths ({len(self)} vs {len(other)})"
+                f"XOR requires equal lengths ({self._length} vs {other._length})"
             )
-        return BitString(a ^ b for a, b in zip(self._bits, other._bits))
+        return BitString._from_packed(self._value ^ other._value, self._length)
 
     def __and__(self, other: "BitString") -> "BitString":
         if not isinstance(other, BitString):
             return NotImplemented
-        if len(other) != len(self):
+        if other._length != self._length:
             raise ValueError(
-                f"AND requires equal lengths ({len(self)} vs {len(other)})"
+                f"AND requires equal lengths ({self._length} vs {other._length})"
             )
-        return BitString(a & b for a, b in zip(self._bits, other._bits))
+        return BitString._from_packed(self._value & other._value, self._length)
 
     def __invert__(self) -> "BitString":
-        return BitString(1 - b for b in self._bits)
+        mask = (1 << self._length) - 1
+        return BitString._from_packed(self._value ^ mask, self._length)
 
     def flip(self, index: int) -> "BitString":
         """Return a copy with the bit at ``index`` flipped."""
-        bits = list(self._bits)
-        bits[index] ^= 1
-        return BitString(bits)
+        pos = index
+        if pos < 0:
+            pos += self._length
+        if not 0 <= pos < self._length:
+            raise IndexError("BitString index out of range")
+        return BitString._from_packed(
+            self._value ^ (1 << (self._length - 1 - pos)), self._length
+        )
 
     def set(self, index: int, value: int) -> "BitString":
         """Return a copy with the bit at ``index`` set to ``value``."""
         if value not in (0, 1):
             raise ValueError("bit values must be 0 or 1")
-        bits = list(self._bits)
-        bits[index] = value
-        return BitString(bits)
+        pos = index
+        if pos < 0:
+            pos += self._length
+        if not 0 <= pos < self._length:
+            raise IndexError("BitString index out of range")
+        bit = 1 << (self._length - 1 - pos)
+        packed = (self._value | bit) if value else (self._value & ~bit)
+        return BitString._from_packed(packed, self._length)
 
     # ------------------------------------------------------------------ #
     # Cryptographic / statistical helpers
     # ------------------------------------------------------------------ #
 
     def popcount(self) -> int:
-        """Number of one bits."""
-        return sum(self._bits)
+        """Number of one bits (a single ``int.bit_count`` over the packed words)."""
+        return self._value.bit_count()
 
     def parity(self) -> int:
         """Parity (XOR) of all bits."""
-        return self.popcount() & 1
+        return self._value.bit_count() & 1
 
     def subset(self, indices: Sequence[int]) -> "BitString":
         """Return the bits at the given indices, in order."""
-        return BitString(self._bits[i] for i in indices)
+        s = self._bin()
+        return BitString(1 if s[i] == "1" else 0 for i in indices)
 
     def subset_parity(self, indices: Iterable[int]) -> int:
         """Parity of the bits at the given indices."""
+        s = self._bin()
         parity = 0
         for i in indices:
-            parity ^= self._bits[i]
+            if s[i] == "1":
+                parity ^= 1
         return parity
 
     def masked_parity(self, mask: "BitString") -> int:
         """Parity of ``self AND mask`` — parity over the positions selected by a mask."""
-        if len(mask) != len(self):
+        if mask._length != self._length:
             raise ValueError("mask length must match")
-        parity = 0
-        for a, b in zip(self._bits, mask._bits):
-            parity ^= a & b
-        return parity
+        return (self._value & mask._value).bit_count() & 1
 
     def hamming_distance(self, other: "BitString") -> int:
         """Number of differing positions between two equal-length bit strings."""
-        if len(other) != len(self):
+        if other._length != self._length:
             raise ValueError("hamming distance requires equal lengths")
-        return sum(a != b for a, b in zip(self._bits, other._bits))
+        return (self._value ^ other._value).bit_count()
 
     def error_rate(self, other: "BitString") -> float:
         """Fraction of positions that differ (the empirical QBER between keys)."""
-        if len(self) == 0:
+        if self._length == 0:
             return 0.0
-        return self.hamming_distance(other) / len(self)
+        return self.hamming_distance(other) / self._length
 
     def chunks(self, size: int) -> List["BitString"]:
-        """Split into consecutive chunks of at most ``size`` bits."""
+        """Split into consecutive chunks of at most ``size`` bits.
+
+        Linear in the total length: the packed value is rendered to a binary
+        string once and each chunk is re-packed from its substring, so huge
+        inputs (message transcripts) do not pay quadratic shift costs.
+        """
         if size <= 0:
             raise ValueError("chunk size must be positive")
-        return [self[i : i + size] for i in range(0, len(self), size)]
+        s = self._bin()
+        return [
+            BitString._from_packed(int(s[i : i + size], 2), min(size, self._length - i))
+            for i in range(0, self._length, size)
+        ]
 
     def concat(self, *others: "BitString") -> "BitString":
         """Concatenate this bit string with others."""
-        bits = list(self._bits)
+        value = self._value
+        length = self._length
         for other in others:
-            bits.extend(other._bits)
-        return BitString(bits)
+            value = (value << other._length) | other._value
+            length += other._length
+        return BitString._from_packed(value, length)
 
     def balance(self) -> float:
         """Fraction of one bits; 0.5 for an ideally random string."""
-        if not self._bits:
+        if not self._length:
             return 0.0
-        return self.popcount() / len(self._bits)
+        return self._value.bit_count() / self._length
 
     def runs(self) -> List[int]:
         """Lengths of runs of identical bits (used by run-length sift encoding)."""
-        if not self._bits:
-            return []
-        lengths = [1]
-        for previous, current in zip(self._bits, self._bits[1:]):
-            if current == previous:
-                lengths[-1] += 1
-            else:
-                lengths.append(1)
-        return lengths
+        return [len(list(group)) for _, group in groupby(self._bin())]

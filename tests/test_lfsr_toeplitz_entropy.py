@@ -130,6 +130,32 @@ class TestToeplitz:
             for j in range(7):
                 assert rows[i][j] == rows[i + 1][j + 1]
 
+    def test_bit_order_convention(self):
+        """Pin the documented seed-bit indexing: M[r][c] = diagonal[r - c + n - 1].
+
+        Uses an asymmetric diagonal so any flip of either axis changes the
+        matrix.  For a 3x4 hash (input n=4, output m=3), diagonal bits
+        d0..d5 must lay out as::
+
+            row 0:  d3 d2 d1 d0
+            row 1:  d4 d3 d2 d1
+            row 2:  d5 d4 d3 d2
+        """
+        d = [1, 0, 0, 1, 1, 0]  # d0..d5, asymmetric
+        hasher = ToeplitzHash(BitString(d), input_bits=4, output_bits=3)
+        rows = hasher.matrix_rows()
+        for r in range(3):
+            for c in range(4):
+                assert rows[r][c] == d[r - c + 4 - 1], (r, c)
+        # Row 0 is the first input_bits diagonal bits reversed; column 0 reads
+        # the diagonal onward from index input_bits - 1.
+        assert rows[0].to_list() == list(reversed(d[:4]))
+        assert [row[0] for row in rows] == d[3:6]
+        # And the hash is exactly matrix-times-key over GF(2) in that layout.
+        key = BitString([1, 1, 0, 1])
+        expected = BitString(row.masked_parity(key) for row in rows)
+        assert hasher.hash(key) == expected
+
     def test_linearity(self):
         rng = DeterministicRNG(7)
         hasher = ToeplitzHash.random(64, 16, rng)

@@ -77,6 +77,26 @@ class TestDeterministicRNG:
         with pytest.raises(ValueError):
             rng.binomial(-1, 0.5)
 
+    def test_random_bits_length_and_determinism(self):
+        rng = DeterministicRNG(5)
+        bits = rng.random_bits(130)
+        assert len(bits) == 130
+        assert rng.random_bits(0).to_list() == []
+        assert DeterministicRNG(5).random_bits(130) == bits
+
+    def test_random_bits_is_a_distinct_stream(self):
+        # Word-granularity draws advance the Mersenne Twister differently
+        # than one n-bit draw: the streams are documented as incompatible.
+        from repro.util.bits import BitString
+
+        word_stream = DeterministicRNG(5).random_bits(130)
+        single_draw = BitString.random(130, DeterministicRNG(5))
+        assert word_stream != single_draw
+
+    def test_random_bits_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(1).random_bits(-1)
+
     def test_shuffle_does_not_modify_input(self):
         rng = DeterministicRNG(9)
         items = [1, 2, 3, 4, 5]
