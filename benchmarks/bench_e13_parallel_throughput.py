@@ -1,0 +1,122 @@
+"""E13 (scale-out) — parallel multi-block distillation throughput.
+
+The ROADMAP's north star is throughput ("as fast as the hardware allows");
+PR 2 made one block cheap, this experiment measures making *many* blocks
+concurrent.  A ≥16-block workload is distilled through the parallel runtime
+(:mod:`repro.runtime`) at 1, 2 and 4 workers; the table reports wall-clock,
+blocks/s and speedup versus one worker, and the test asserts the runtime's
+two contracts:
+
+* **determinism** — the distilled pool digest is identical at every worker
+  count (always asserted);
+* **speedup** — ≥2x at 4 workers, asserted when the host actually has ≥4
+  CPUs (on fewer cores the speedup is physically unavailable and the run
+  only records the numbers).  ``BENCH_E13_REQUIRE_SPEEDUP=1`` forces the
+  assertion regardless of CPU count; ``=0`` disables it (what the CI smoke
+  job does — shared 4-vCPU runners with a reduced workload are too noisy
+  to gate a merge on a wall-clock ratio).
+
+``BENCH_E13_BLOCKS`` / ``BENCH_E13_BLOCK_BITS`` shrink the workload for CI
+smoke runs, and ``BENCH_E13_BACKEND`` selects the pool backend.  With
+``BENCH_JSON_DIR`` set the table lands in ``BENCH_bench_e13_parallel_throughput.json``
+— the seed of the parallel-throughput perf trajectory.
+"""
+
+import hashlib
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.engine import EngineParameters, QKDProtocolEngine, SiftedBlock
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+BLOCK_BITS = int(os.environ.get("BENCH_E13_BLOCK_BITS", 2048))
+N_BLOCKS = int(os.environ.get("BENCH_E13_BLOCKS", 16))
+BACKEND = os.environ.get("BENCH_E13_BACKEND", "process")
+WORKER_COUNTS = (1, 2, 4)
+ERROR_RATE = 0.06
+
+
+def _workload():
+    blocks = []
+    for seed in range(N_BLOCKS):
+        rng = DeterministicRNG(100 + seed)
+        reference = BitString.random(BLOCK_BITS, rng)
+        noisy = reference.to_list()
+        for index in rng.sample(range(BLOCK_BITS), int(round(ERROR_RATE * BLOCK_BITS))):
+            noisy[index] ^= 1
+        blocks.append(
+            SiftedBlock(reference, BitString(noisy), transmitted_pulses=500_000)
+        )
+    return blocks
+
+
+def _distill(blocks, workers):
+    engine = QKDProtocolEngine(
+        EngineParameters(parallel_workers=workers, parallel_backend=BACKEND),
+        DeterministicRNG(7),
+    )
+    started = time.perf_counter()
+    engine.distill_blocks(blocks)
+    elapsed = time.perf_counter() - started
+    digest = hashlib.sha256()
+    for block in engine.alice_pool.blocks:
+        digest.update(str(block.bits).encode())
+    return {
+        "workers": workers,
+        "seconds": elapsed,
+        "digest": digest.hexdigest(),
+        "distilled_bits": engine.statistics.distilled_bits,
+        "keys_match": engine.keys_match,
+    }
+
+
+def test_e13_parallel_throughput(benchmark, table):
+    assert N_BLOCKS >= 2, "the workload must contain at least two blocks"
+    blocks = _workload()
+
+    def experiment():
+        return [_distill(blocks, workers) for workers in WORKER_COUNTS]
+
+    runs = run_once(benchmark, experiment)
+    baseline = runs[0]["seconds"]
+
+    cpus = os.cpu_count() or 1
+    rows = []
+    for run in runs:
+        speedup = baseline / run["seconds"] if run["seconds"] else float("inf")
+        rows.append(
+            [
+                run["workers"],
+                BACKEND,
+                f"{run['seconds']:.3f}",
+                f"{N_BLOCKS / run['seconds']:.1f}",
+                f"{speedup:.2f}x",
+                run["distilled_bits"],
+                run["digest"][:12],
+            ]
+        )
+    table(
+        f"E13: parallel distillation of {N_BLOCKS} x {BLOCK_BITS}-bit blocks "
+        f"({cpus} CPU(s) available)",
+        ["workers", "backend", "seconds", "blocks/s", "speedup", "distilled bits", "pool digest"],
+        rows,
+    )
+
+    # Determinism contract: bit-identical output at every worker count.
+    digests = {run["digest"] for run in runs}
+    assert len(digests) == 1, f"worker count changed the key material: {digests}"
+    assert all(run["keys_match"] for run in runs)
+    assert runs[0]["distilled_bits"] > 0, "workload too small to distill key"
+
+    # Throughput contract: >=2x at 4 workers -- only enforceable where 4
+    # cores exist for the workers to run on ("1" forces, "0" disables).
+    four_worker = next(run for run in runs if run["workers"] == 4)
+    speedup_at_4 = baseline / four_worker["seconds"]
+    require = os.environ.get("BENCH_E13_REQUIRE_SPEEDUP")
+    if require == "1" or (require != "0" and cpus >= 4):
+        assert speedup_at_4 >= 2.0, (
+            f"expected >=2x speedup at 4 workers on {cpus} CPUs, "
+            f"got {speedup_at_4:.2f}x"
+        )

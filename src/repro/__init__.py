@@ -16,6 +16,9 @@ Pearson and Troxel as a pure-Python simulation and protocol library:
 * :mod:`repro.ipsec` — IPsec/IKE with the paper's QKD extensions (continually
   reseeded AES keys and one-time-pad security associations).
 * :mod:`repro.network` — trusted-relay and untrusted-switch QKD networks.
+* :mod:`repro.runtime` — the deterministic parallel distillation runtime:
+  block- and link-level scheduling across worker pools with output invariant
+  under worker count.
 * :mod:`repro.api` — the top-level facade: :class:`~repro.api.QKDSystem`
   assembles links, VPNs and relay meshes from one config object.
 

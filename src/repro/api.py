@@ -70,6 +70,12 @@ class SystemConfig:
     #: Stage-registry keys overriding the paper's default pipeline plan
     #: (see :mod:`repro.pipeline`); ``None`` keeps the default.
     stages: Optional[Tuple[str, ...]] = None
+    #: Parallel distillation runtime (:mod:`repro.runtime`): ``None`` keeps
+    #: the sequential engine; an integer enables the parallel mode with that
+    #: many workers (output invariant across worker counts).
+    parallel_workers: Optional[int] = None
+    #: Pool backend for the parallel runtime ("process" or "thread").
+    parallel_backend: str = "process"
 
     # ---- VPN assembly -------------------------------------------------- #
     #: Channel-seconds of key distilled before the gateways come up.
@@ -102,6 +108,8 @@ class SystemConfig:
             abort_qber=self.abort_qber,
             randomness_testing=self.randomness_testing,
             stages=self.stages,
+            parallel_workers=self.parallel_workers,
+            parallel_backend=self.parallel_backend,
         )
 
     def channel_parameters(self) -> ChannelParameters:
@@ -144,6 +152,13 @@ class QKDSystem:
     def with_stages(self, *stage_keys: str) -> "QKDSystem":
         """Override the distillation pipeline with registry keys, in order."""
         return self.configured(stages=tuple(stage_keys))
+
+    def with_parallelism(
+        self, workers: Optional[int], backend: str = "process"
+    ) -> "QKDSystem":
+        """Enable (or, with ``None``, disable) the parallel distillation
+        runtime — see :mod:`repro.runtime` for the determinism contract."""
+        return self.configured(parallel_workers=workers, parallel_backend=backend)
 
     def entangled(self, flag: bool = True) -> "QKDSystem":
         return self.configured(entangled=flag)

@@ -45,7 +45,7 @@ from repro.core.messages import (
     PublicChannelLog,
 )
 from repro.mathkit.gf2 import IncrementalGF2Rank
-from repro.mathkit.lfsr import lfsr_subset_mask
+from repro.mathkit.lfsr import lfsr_subset_mask, lfsr_subset_masks
 from repro.util.bits import BitString
 from repro.util.rng import DeterministicRNG
 
@@ -163,6 +163,45 @@ class _SubsetRecord:
         return self.prefix[hi] ^ self.prefix[lo]
 
 
+class _PackedParityBatch:
+    """All of one round's subset parities as a single packed-mask operation.
+
+    The key (LSB-first packed, bit ``i`` = position ``i``) is replicated into
+    byte-aligned lanes, one lane per subset; a round's masks are packed into
+    the same lane layout, so every announced parity of the round comes out of
+    **one** big-int AND followed by a per-lane popcount — instead of one
+    independent mask walk per subset.  The replica is built once per key (one
+    ``bytes`` multiply) and cached per lane count, since Cascade asks for the
+    same 64-lane layout every round.
+    """
+
+    __slots__ = ("stride", "_key_bytes", "_replicas")
+
+    def __init__(self, key_lsb: int, n_bits: int):
+        self.stride = (n_bits + 7) // 8
+        self._key_bytes = key_lsb.to_bytes(self.stride, "little")
+        self._replicas: dict = {}
+
+    def parities(self, masks: List[int]) -> List[int]:
+        """``[(key & mask).bit_count() & 1 for mask in masks]``, batched."""
+        lanes = len(masks)
+        if lanes == 0:
+            return []
+        stride = self.stride
+        replica = self._replicas.get(lanes)
+        if replica is None:
+            replica = int.from_bytes(self._key_bytes * lanes, "little")
+            self._replicas[lanes] = replica
+        packed_masks = int.from_bytes(
+            b"".join(mask.to_bytes(stride, "little") for mask in masks), "little"
+        )
+        anded = (packed_masks & replica).to_bytes(lanes * stride, "little")
+        return [
+            int.from_bytes(anded[lane * stride : (lane + 1) * stride], "little").bit_count() & 1
+            for lane in range(lanes)
+        ]
+
+
 class CascadeProtocol:
     """Reconciles the responder's sifted key against the initiator's."""
 
@@ -214,6 +253,11 @@ class CascadeProtocol:
         # key position i) so parity checks are AND-plus-popcount.
         working = working_key.to_int_lsb()
         reference = reference_key.to_int_lsb()  # only parities of it are disclosed
+        # Alice's side of each round's announcement: all 64 reference parities
+        # in one packed AND over byte-aligned lanes.  (Bob's replies stay
+        # per-mask: his key keeps changing as errors are fixed, so a replica
+        # would have to be rebuilt every round and win nothing.)
+        reference_batch = _PackedParityBatch(reference, n)
 
         disclosed = 0
         bisections = 0
@@ -336,13 +380,16 @@ class CascadeProtocol:
             rounds_used += 1
             errors_before_round = errors_corrected
             seeds = [self.rng.getrandbits(32) for _ in range(params.subsets_per_round)]
+            subset_bit_strings = lfsr_subset_masks(seeds, n, params.subset_density)
+            masks = [bits.to_int_lsb() for bits in subset_bit_strings]
+            announcement_parities = reference_batch.parities(masks)
             round_records: List[_SubsetRecord] = []
-            announcement_parities: List[int] = []
-            for seed in seeds:
-                subset_bits = lfsr_subset_mask(seed, n, params.subset_density)
-                mask = subset_bits.to_int_lsb()
-                reference_parity = disclose_mask_parity(mask)
-                announcement_parities.append(reference_parity)
+            for seed, subset_bits, mask, reference_parity in zip(
+                seeds, subset_bit_strings, masks, announcement_parities
+            ):
+                # Same accounting as disclose_mask_parity, in the same order.
+                disclosed += 1
+                rank_tracker.add(mask)
                 round_records.append(
                     _SubsetRecord(
                         seed=seed,
@@ -384,12 +431,23 @@ class CascadeProtocol:
                 break
 
         # Confirmation parities: fresh random subsets whose parities must all
-        # agree for the block to be accepted.
+        # agree for the block to be accepted.  Drawing the seeds up front
+        # consumes the RNG identically (mask expansion draws nothing), so the
+        # whole confirmation stage is one more batched parity check.
         confirmed = True
-        for _ in range(params.confirmation_parities):
-            seed = self.rng.getrandbits(32)
-            mask = lfsr_subset_mask(seed, n, params.subset_density).to_int_lsb()
-            if disclose_mask_parity(mask) != working_parity(mask):
+        confirmation_seeds = [
+            self.rng.getrandbits(32) for _ in range(params.confirmation_parities)
+        ]
+        confirmation_masks = [
+            bits.to_int_lsb()
+            for bits in lfsr_subset_masks(confirmation_seeds, n, params.subset_density)
+        ]
+        for mask, reference_parity in zip(
+            confirmation_masks, reference_batch.parities(confirmation_masks)
+        ):
+            disclosed += 1
+            rank_tracker.add(mask)
+            if reference_parity != working_parity(mask):
                 confirmed = False
 
         corrected = BitString.from_int_lsb(working, n)

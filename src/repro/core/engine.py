@@ -96,6 +96,18 @@ class EngineParameters:
     #: (see :mod:`repro.pipeline`).  ``None`` selects the paper's default plan;
     #: supplying a plan swaps stages without touching engine code.
     stages: Optional[Tuple[str, ...]] = None
+    #: Parallel distillation runtime (:mod:`repro.runtime`).  ``None`` (the
+    #: default) keeps the historical strictly-sequential path and its pinned
+    #: key-material digests bit-for-bit.  An integer ``N >= 1`` switches the
+    #: engine to the parallel runtime with ``N`` workers: blocks draw from
+    #: per-block labeled RNG forks and are committed in block-id order, so
+    #: the output is identical for every ``N`` (``N = 1`` included) but is a
+    #: *different, separately pinned stream* than the sequential path.
+    parallel_workers: Optional[int] = None
+    #: Pool backend for the parallel runtime: "process" (default; real
+    #: multi-core) or "thread" (no pickling/startup cost; useful for small
+    #: batches and tests).
+    parallel_backend: str = "process"
 
     def __post_init__(self) -> None:
         if self.defense not in ("bennett", "slutsky"):
@@ -110,6 +122,15 @@ class EngineParameters:
             if not self.stages:
                 raise ValueError("stage plan must name at least one stage")
             self.stages = tuple(self.stages)
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError("parallel worker count must be at least 1 (or None)")
+        if self.parallel_backend not in ("process", "thread"):
+            raise ValueError("parallel backend must be 'process' or 'thread'")
+
+    @property
+    def parallel_enabled(self) -> bool:
+        """Whether the parallel distillation runtime is active."""
+        return self.parallel_workers is not None
 
     @property
     def stage_plan(self) -> Tuple[str, ...]:
@@ -120,6 +141,22 @@ class EngineParameters:
         if self.defense == "bennett":
             return BennettDefense()
         return SlutskyDefense()
+
+
+@dataclass(frozen=True)
+class SiftedBlock:
+    """One block-sized chunk of sifted key, ready for distillation.
+
+    The unit of scheduling for :meth:`QKDProtocolEngine.distill_blocks`:
+    everything a block needs is carried with it, so batches can be
+    dispatched to the parallel runtime without reading engine state.
+    """
+
+    alice_key: BitString
+    bob_key: BitString
+    transmitted_pulses: int
+    mean_photon_number: float = 0.1
+    entangled_source: bool = False
 
 
 @dataclass
@@ -219,6 +256,27 @@ class QKDProtocolEngine:
             params.stage_plan, self.services
         )
 
+        # Root of the parallel runtime's per-block streams.  Forked
+        # unconditionally (fork() consumes no draws from the parent, so the
+        # sequential path's streams are untouched) so that enabling parallel
+        # mode later cannot shift any other stream.
+        self._runtime_rng = self.rng.fork("runtime")
+        self._commit_pipeline: Optional[DistillationPipeline] = None
+        self._distiller = None  # lazily built, pool reused across batches
+        # Parallel mode rebuilds its phases from the registry plan and from
+        # EngineParameters, so it can only honor the engine exactly as
+        # assembled here: remember which pipeline object and which service
+        # components are "stock" to detect (and refuse) swapped-in
+        # replacements that the workers would silently bypass.
+        self._registry_pipeline = self.pipeline
+        self._registry_stages = tuple(self.pipeline.stages)
+        self._stock_components = {
+            "cascade": self.services.cascade,
+            "privacy": self.services.privacy,
+            "estimator": self.services.estimator,
+            "randomness_tester": self.services.randomness_tester,
+        }
+
         self.outcomes: List[DistillationOutcome] = []
         self._next_block_id = 0
         self._next_frame_id = 0
@@ -286,6 +344,10 @@ class QKDProtocolEngine:
         # Honor the new cascade configuration without resetting the protocol's
         # RNG stream.
         self.services.cascade.parameters = value.cascade
+        # The setter legitimately rebuilt these two; re-bless them as stock
+        # (cascade/privacy keep their original objects and entries).
+        self._stock_components["estimator"] = self.services.estimator
+        self._stock_components["randomness_tester"] = self.services.randomness_tester
         self.rebuild_pipeline()
 
     # ------------------------------------------------------------------ #
@@ -312,6 +374,12 @@ class QKDProtocolEngine:
         rebuilt.hooks = list(self.pipeline.hooks)
         rebuilt.telemetry = self.pipeline.telemetry
         self.pipeline = rebuilt
+        self._registry_pipeline = rebuilt
+        self._registry_stages = tuple(rebuilt.stages)
+        self._commit_pipeline = None
+        if self._distiller is not None:
+            self._distiller.close()
+            self._distiller = None
 
     # ------------------------------------------------------------------ #
     # Frame intake
@@ -343,16 +411,16 @@ class QKDProtocolEngine:
         self._pending_mu = mean_photon_number
         self._pending_entangled = entangled_source
 
-        outcomes = []
+        blocks = []
         while len(self._pending_alice) >= self.parameters.block_size_bits:
-            outcomes.append(self._distill_pending_block())
-        return outcomes
+            blocks.append(self._pop_pending_block())
+        return self.distill_blocks(blocks)
 
     def flush(self) -> Optional[DistillationOutcome]:
         """Distill whatever sifted bits are pending, even if below block size."""
         if not self._pending_alice:
             return None
-        return self._distill_pending_block(partial=True)
+        return self.distill_blocks([self._pop_pending_block(partial=True)])[0]
 
     # ------------------------------------------------------------------ #
     # Distillation of one block
@@ -367,21 +435,137 @@ class QKDProtocolEngine:
         entangled_source: bool = False,
     ) -> DistillationOutcome:
         """Run one sifted block through the distillation pipeline (stateless
-        entry point used by benchmarks and by :meth:`process_frame`)."""
-        block_id = self._next_block_id
-        self._next_block_id += 1
+        entry point used by benchmarks and by :meth:`process_frame`).
 
-        ctx = PipelineContext(
-            block_id=block_id,
+        In parallel mode this routes through :meth:`distill_blocks` as a
+        one-block batch, so single-block and batched submissions of the same
+        blocks produce identical key material.
+        """
+        block = SiftedBlock(
             alice_key=alice_key,
             bob_key=bob_key,
             transmitted_pulses=transmitted_pulses,
             mean_photon_number=mean_photon_number,
             entangled_source=entangled_source,
+        )
+        if self.parameters.parallel_enabled:
+            return self.distill_blocks([block])[0]
+        return self._distill_block_sequential(block)
+
+    def distill_blocks(self, blocks: Sequence[SiftedBlock]) -> List[DistillationOutcome]:
+        """Distill a batch of sifted blocks, in order.
+
+        On the sequential path (``parallel_workers=None``) this is exactly a
+        loop over :meth:`distill_block` — same streams, same bits as the
+        historical engine.  In parallel mode the batch's compute phases run
+        across the runtime's worker pool — each block on its own
+        ``block/<id>`` labeled RNG fork, sizing its Cascade first pass from
+        its own measured QBER — and the results are committed in block-id
+        order, so the outcome is invariant under worker count *and* under
+        how the blocks are partitioned into batches.
+        """
+        blocks = list(blocks)
+        if not self.parameters.parallel_enabled:
+            return [self._distill_block_sequential(block) for block in blocks]
+        if not blocks:
+            return []
+
+        from repro.runtime.parallel import BlockWorkItem, ParallelDistiller
+
+        # Parallel batches are distilled through pipelines rebuilt from the
+        # registry plan and worker services rebuilt from EngineParameters;
+        # a pipeline swapped in via use_pipeline() — even one whose stages
+        # reuse the built-in names — or a component swapped through the live
+        # views (engine.privacy = ..., engine.cascade = ...) would be
+        # silently bypassed, so refuse rather than mislead.
+        if (
+            self.pipeline is not self._registry_pipeline
+            or tuple(self.pipeline.stages) != self._registry_stages
+        ):
+            raise ValueError(
+                "parallel mode distills through the registry-built pipeline "
+                f"for the stage plan {self.parameters.stage_plan}, but the "
+                "engine's pipeline was replaced (use_pipeline()) or its "
+                "stages mutated in place; use the sequential path "
+                "(parallel_workers=None) with custom pipelines"
+            )
+        swapped = [
+            name
+            for name, stock in self._stock_components.items()
+            if getattr(self.services, name) is not stock
+        ]
+        if swapped:
+            raise ValueError(
+                "parallel mode rebuilds the distillation components from "
+                f"EngineParameters on its workers, but {swapped} were "
+                "swapped through the engine's live views and would be "
+                "silently ignored; use the sequential path "
+                "(parallel_workers=None) with custom components"
+            )
+
+        if self._distiller is None:
+            self._distiller = ParallelDistiller(
+                self.parameters,
+                workers=self.parameters.parallel_workers,
+                backend=self.parameters.parallel_backend,
+            )
+
+        items = []
+        for block in blocks:
+            block_id = self._next_block_id
+            self._next_block_id += 1
+            items.append(
+                BlockWorkItem(
+                    block_id=block_id,
+                    alice_key=block.alice_key,
+                    bob_key=block.bob_key,
+                    transmitted_pulses=block.transmitted_pulses,
+                    mean_photon_number=block.mean_photon_number,
+                    entangled_source=block.entangled_source,
+                    stream_seed=self._runtime_rng.fork_labeled(
+                        f"block/{block_id}"
+                    ).seed,
+                )
+            )
+        outcomes = []
+        for ctx in self._distiller.compute(items):
+            ctx.services = self.services
+            ctx = self._commit(ctx)
+            outcomes.append(self._outcome_from_context(ctx))
+        return outcomes
+
+    def _commit(self, ctx: PipelineContext) -> PipelineContext:
+        """Apply one computed block to the shared state (coordinator side)."""
+        if self._commit_pipeline is None:
+            from repro.runtime.parallel import split_stage_plan
+
+            _, commit_plan = split_stage_plan(self.parameters.stage_plan)
+            self._commit_pipeline = DistillationPipeline.from_plan(
+                commit_plan, self.services, name="parallel-commit"
+            )
+            # Observers attached to the engine pipeline see the commit-phase
+            # stages too (the worker phase runs out of their reach; the
+            # shared list keeps later add_hook() calls visible here).
+            self._commit_pipeline.hooks = self.pipeline.hooks
+        return self._commit_pipeline.run(ctx)
+
+    def _distill_block_sequential(self, block: SiftedBlock) -> DistillationOutcome:
+        block_id = self._next_block_id
+        self._next_block_id += 1
+
+        ctx = PipelineContext(
+            block_id=block_id,
+            alice_key=block.alice_key,
+            bob_key=block.bob_key,
+            transmitted_pulses=block.transmitted_pulses,
+            mean_photon_number=block.mean_photon_number,
+            entangled_source=block.entangled_source,
             services=self.services,
         )
         ctx = self.pipeline.run(ctx)
+        return self._outcome_from_context(ctx)
 
+    def _outcome_from_context(self, ctx: PipelineContext) -> DistillationOutcome:
         outcome = DistillationOutcome(
             block_id=ctx.block_id,
             sifted_bits=ctx.sifted_bits,
@@ -398,7 +582,7 @@ class QKDProtocolEngine:
         self.outcomes.append(outcome)
         return outcome
 
-    def _distill_pending_block(self, partial: bool = False) -> DistillationOutcome:
+    def _pop_pending_block(self, partial: bool = False) -> SiftedBlock:
         size = (
             len(self._pending_alice)
             if partial
@@ -420,9 +604,9 @@ class QKDProtocolEngine:
         self._pending_pulses_transmitted = max(self._pending_pulses_transmitted - pulses, 0)
         self._pending_slots = max(self._pending_slots - size, 0)
 
-        return self.distill_block(
-            alice_key,
-            bob_key,
+        return SiftedBlock(
+            alice_key=alice_key,
+            bob_key=bob_key,
             transmitted_pulses=pulses,
             mean_photon_number=self._pending_mu,
             entangled_source=self._pending_entangled,

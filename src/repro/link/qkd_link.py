@@ -135,6 +135,10 @@ class QKDLink:
                     frame, mean_photon_number=mu, entangled_source=entangled
                 )
             )
+            # Sifting has extracted everything the protocols need; drop the
+            # per-slot arrays so a long run's memory stays flat instead of
+            # holding megabytes per batch until garbage collection.
+            frame.release_slot_arrays()
             remaining -= this_batch
         if flush:
             flushed = self.engine.flush()
@@ -185,6 +189,13 @@ class QKDLink:
         transparent leakage.  The confidence margin vanishes in the
         asymptotic (large-block) limit, so this is an upper estimate of what
         the finite-block engine achieves.
+
+        ``defense`` may be ``None`` (the engine's default Bennett defense), a
+        defense object exposing ``per_bit_defense(e)``, a callable evaluated
+        at the expected QBER, or a plain number used directly as the per-bit
+        defense value ``t(e)``.  Anything else raises ``TypeError`` — it
+        used to fall through silently to Bennett, which made typos in
+        benchmark sweeps invisible.
         """
         e = self.expected_qber()
         if e >= 0.5:
@@ -193,9 +204,17 @@ class QKDLink:
             # Match the engine's default defense function (Bennett).
             defense_per_bit = BennettPerBit(e)
         elif hasattr(defense, "per_bit_defense"):
-            defense_per_bit = defense.per_bit_defense(e)
+            defense_per_bit = float(defense.per_bit_defense(e))
+        elif isinstance(defense, (int, float)) and not isinstance(defense, bool):
+            defense_per_bit = float(defense)
+        elif callable(defense):
+            defense_per_bit = float(defense(e))
         else:
-            defense_per_bit = BennettPerBit(e)
+            raise TypeError(
+                "defense must be None, a number, a callable of the error "
+                "rate, or an object with per_bit_defense(error_rate); got "
+                f"{type(defense).__name__}"
+            )
         mu = self.parameters.channel.effective_mean_photon_number
         multi_fraction = multi_photon_probability(mu) / max(
             non_empty_pulse_probability(mu), 1e-12

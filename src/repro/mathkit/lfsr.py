@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.util.bits import BitString
 
 # Taps for a maximal-length 32-bit Galois LFSR (polynomial
@@ -54,6 +56,67 @@ def _byte_tables(taps: int, width: int) -> List[List[Tuple[int, int]]]:
         ]
         _BYTE_TABLES[key] = tables
     return tables
+
+
+# Vectorized (numpy) views of the byte tables, for stepping many registers in
+# lock-step: per byte position, a (256,) uint64 state-image table and a
+# (256,) uint8 output-byte table.  Built lazily from the scalar tables above.
+_VECTOR_TABLES: Dict[Tuple[int, int], Tuple[List[np.ndarray], List[np.ndarray]]] = {}
+
+
+def _vector_tables(taps: int, width: int) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    key = (taps, width)
+    vector = _VECTOR_TABLES.get(key)
+    if vector is None:
+        if width > 64:
+            raise ValueError("vectorized stepping supports registers up to 64 bits")
+        tables = _byte_tables(taps, width)
+        state_tables = [
+            np.fromiter((state for state, _ in table), dtype=np.uint64, count=256)
+            for table in tables
+        ]
+        out_tables = [
+            np.fromiter((out for _, out in table), dtype=np.uint8, count=256)
+            for table in tables
+        ]
+        vector = (state_tables, out_tables)
+        _VECTOR_TABLES[key] = vector
+    return vector
+
+
+def _expand_bytes_batch(
+    seeds: Sequence[int],
+    n_bytes: int,
+    taps: int = DEFAULT_TAPS_32,
+    width: int = DEFAULT_WIDTH,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Step one register per seed for ``8 * n_bytes`` steps, all in lock-step.
+
+    Returns ``(rows, states)``: ``rows[i]`` is the ``i``-th register's output
+    as ``n_bytes`` stream bytes (each byte MSB-first, exactly the
+    :meth:`LFSR.bits` bit order) and ``states[i]`` its register state after
+    the expansion.  The per-step work is a handful of numpy table lookups
+    over all registers at once instead of a Python loop per register — this
+    is what lets Cascade expand a whole round's 64 subset masks as one batch.
+    """
+    mask = (1 << width) - 1
+    states = np.fromiter(
+        ((seed & mask) or mask for seed in seeds), dtype=np.uint64, count=len(seeds)
+    )
+    rows = np.empty((len(seeds), n_bytes), dtype=np.uint8)
+    state_tables, out_tables = _vector_tables(taps, width)
+    positions = range(len(state_tables))
+    for j in range(n_bytes):
+        new_states = np.zeros_like(states)
+        out = np.zeros(len(states), dtype=np.uint8)
+        for position in positions:
+            chunk = (states >> np.uint64(8 * position)).astype(np.uint64) & np.uint64(0xFF)
+            index = chunk.astype(np.intp)
+            new_states ^= state_tables[position][index]
+            out ^= out_tables[position][index]
+        states = new_states
+        rows[:, j] = out
+    return rows, states
 
 
 class LFSR:
@@ -97,7 +160,11 @@ class LFSR:
         if whole_bytes:
             tables = _byte_tables(self.taps, self.width)
             state = self.state
-            for _ in range(whole_bytes):
+            # Accumulate the stream bytes in a bytearray and pack once at the
+            # end: one O(n) int.from_bytes instead of n/8 shifts of a growing
+            # integer (which would be quadratic in the subset length).
+            out_bytes = bytearray(whole_bytes)
+            for j in range(whole_bytes):
                 new_state = 0
                 out = 0
                 for position, table in enumerate(tables):
@@ -105,8 +172,9 @@ class LFSR:
                     new_state ^= state_part
                     out ^= out_part
                 state = new_state
-                value = (value << 8) | out
+                out_bytes[j] = out
             self.state = state
+            value = int.from_bytes(out_bytes, "big")
         for _ in range(tail):
             value = (value << 1) | self.step()
         return BitString.from_int(value, count)
@@ -156,6 +224,46 @@ def lfsr_subset_mask(seed: int, length: int, density: float = 0.5) -> BitString:
         byte = register.bits(8).to_int()
         bits.append(1 if byte < threshold else 0)
     return BitString(bits)
+
+
+def lfsr_subset_masks(
+    seeds: Sequence[int], length: int, density: float = 0.5
+) -> List[BitString]:
+    """Expand many seeds into subset masks at once (Cascade's per-round batch).
+
+    Bit-identical to ``[lfsr_subset_mask(seed, length, density) for seed in
+    seeds]`` — the differential tests pin that equivalence — but all the
+    registers are stepped in lock-step through the vectorized byte tables,
+    so expanding a round's 64 masks costs one batched sweep instead of 64
+    independent mask walks.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    if not seeds:
+        return []
+    if density == 0.5:
+        whole_bytes, tail = divmod(length, 8)
+        rows, states = _expand_bytes_batch(seeds, whole_bytes)
+        masks: List[BitString] = []
+        for i, seed in enumerate(seeds):
+            value = int.from_bytes(rows[i].tobytes(), "big")
+            if tail:
+                register = LFSR(seed)
+                register.state = int(states[i])
+                for _ in range(tail):
+                    value = (value << 1) | register.step()
+            masks.append(BitString.from_int(value, length))
+        return masks
+    # Thresholded densities consume one stream byte per key position.
+    rows, _ = _expand_bytes_batch(seeds, length)
+    threshold = int(round(density * 256))
+    below = rows < threshold
+    return [
+        BitString.from_bytes(np.packbits(row).tobytes())[:length]
+        for row in below
+    ]
 
 
 def subset_indices_from_seed(seed: int, length: int, density: float = 0.5) -> List[int]:

@@ -42,6 +42,13 @@ class KeyTransportResult:
     failed_hop: Optional[Tuple[str, str]] = None
 
 
+def _pad_material(job: Tuple[int, int]) -> bytes:
+    """Pairwise pad material for one link, from its own labeled stream."""
+    seed, n_bytes = job
+    rng = DeterministicRNG(seed)
+    return rng.getrandbits(8 * n_bytes).to_bytes(n_bytes, "big")
+
+
 class TrustedRelayNetwork:
     """Key transport over a mesh of trusted relays."""
 
@@ -57,6 +64,8 @@ class TrustedRelayNetwork:
         #: Pairwise one-time-pad pools per link, keyed by a sorted node pair.
         self.pairwise_pads: Dict[Tuple[str, str], OneTimePad] = {}
         self.transports: List[KeyTransportResult] = []
+        #: Counts parallel refills so each one derives fresh per-link streams.
+        self._refill_epoch = 0
         for edge in network.links():
             self.pairwise_pads[self._pad_key(edge.node_a, edge.node_b)] = OneTimePad()
 
@@ -69,12 +78,15 @@ class TrustedRelayNetwork:
         rng: Optional[DeterministicRNG] = None,
         metric: str = "hops",
         prefill_seconds: float = 0.0,
+        workers: Optional[int] = None,
     ) -> "TrustedRelayNetwork":
         """Build a metro-style relay mesh and its key-transport layer in one
         call (the assembly the examples and the :mod:`repro.api` facade use).
 
         ``prefill_seconds`` optionally lets every link distill pairwise key
-        before the network is handed back, so it is immediately usable.
+        before the network is handed back, so it is immediately usable;
+        ``workers`` runs that prefill across the parallel runtime's pool
+        (see :meth:`run_links_for`).
         """
         rng = rng or DeterministicRNG(0)
         network = QKDNetwork.relay_mesh(
@@ -85,7 +97,7 @@ class TrustedRelayNetwork:
         )
         relays = cls(network, rng=rng.fork("transport"), metric=metric)
         if prefill_seconds > 0:
-            relays.run_links_for(prefill_seconds)
+            relays.run_links_for(prefill_seconds, workers=workers)
         return relays
 
     # ------------------------------------------------------------------ #
@@ -99,27 +111,64 @@ class TrustedRelayNetwork:
     def pad_for(self, node_a: str, node_b: str) -> OneTimePad:
         return self.pairwise_pads[self._pad_key(node_a, node_b)]
 
-    def run_links_for(self, seconds: float) -> None:
+    def run_links_for(
+        self,
+        seconds: float,
+        workers: Optional[int] = None,
+        backend: str = "process",
+    ) -> None:
         """Let every usable link distill pairwise key for ``seconds`` seconds.
 
         The amount added per link is its analytic secret-key rate times the
         duration — the steady-state behaviour of each link's protocol engine
         without Monte-Carlo cost, which is what the network-scale experiments
         need.
+
+        With ``workers`` unset the material comes from the network's single
+        sequential stream, exactly as it always has.  Passing a worker count
+        switches to the parallel refill: every link's material is drawn from
+        its own labeled fork (``pad/<epoch>/<node-a>--<node-b>``), generated
+        concurrently across the runtime's pool and applied in link order —
+        the result depends only on the network seed, the refill epoch and
+        the link names, never on the worker count.
         """
         if seconds < 0:
             raise ValueError("duration must be non-negative")
+        if workers is None:
+            for edge in self.network.links():
+                if not edge.usable:
+                    continue
+                new_bits = int(edge.secret_key_rate_bps * seconds)
+                new_bytes = new_bits // 8
+                if new_bytes <= 0:
+                    continue
+                material = bytes(
+                    self.rng.getrandbits(8) for _ in range(new_bytes)
+                )
+                self.pad_for(edge.node_a, edge.node_b).add_key_material(material)
+            return
+
+        from repro.runtime.pool import parallel_map
+
+        epoch = self._refill_epoch
+        self._refill_epoch += 1
+        pairs: List[Tuple[str, str]] = []
+        jobs: List[Tuple[int, int]] = []
         for edge in self.network.links():
             if not edge.usable:
                 continue
-            new_bits = int(edge.secret_key_rate_bps * seconds)
-            new_bytes = new_bits // 8
+            new_bytes = int(edge.secret_key_rate_bps * seconds) // 8
             if new_bytes <= 0:
                 continue
-            material = bytes(
-                self.rng.getrandbits(8) for _ in range(new_bytes)
-            )
-            self.pad_for(edge.node_a, edge.node_b).add_key_material(material)
+            node_a, node_b = self._pad_key(edge.node_a, edge.node_b)
+            label = f"pad/{epoch}/{node_a}--{node_b}"
+            pairs.append((node_a, node_b))
+            jobs.append((self.rng.fork_labeled(label).seed, new_bytes))
+        materials = parallel_map(
+            _pad_material, jobs, workers=workers, backend=backend
+        )
+        for (node_a, node_b), material in zip(pairs, materials):
+            self.pad_for(node_a, node_b).add_key_material(material)
 
     def pairwise_key_available_bits(self, node_a: str, node_b: str) -> int:
         return self.pad_for(node_a, node_b).available_bytes * 8

@@ -103,6 +103,18 @@ def protect_registered_stages() -> None:
     _PROTECTED.update(_REGISTRY)
 
 
+def stage_is_shadowed(key: str) -> bool:
+    """Whether ``key`` currently resolves to a shadowing registration.
+
+    The parallel runtime refuses shadowed keys: its worker/commit phase
+    split is derived from the *built-in* stages' known side effects, so a
+    shadowing replacement (which :func:`create_stage` would happily return)
+    could not be split safely and would otherwise be silently bypassed.
+    """
+    stack = _REGISTRY.get(key)
+    return bool(stack) and len(stack) > 1
+
+
 def create_stage(key: str, services: PipelineServices) -> Stage:
     """Instantiate the stage registered under ``key``."""
     try:

@@ -9,6 +9,8 @@ key                       stage
 ========================  ====================================================
 ``alarm.qber``            eavesdropping alarm (abort above the QBER threshold)
 ``cascade.bicon``         BBN Cascade error correction with leakage accounting
+``cascade.compute``       Cascade reconciliation only (parallel-runtime workers)
+``cascade.account``       leakage/abort accounting for a precomputed result
 ``entropy.estimate``      entropy estimation with the configured defense
 ``entropy.bennett``       entropy estimation forcing the Bennett defense
 ``entropy.slutsky``       entropy estimation forcing the Slutsky defense
@@ -65,6 +67,36 @@ class QberAlarmStage(PipelineStage):
         return ctx
 
 
+def _reconcile_block(services, ctx: PipelineContext) -> PipelineContext:
+    """Run Cascade over the block's keys (the compute half of the stage)."""
+    ctx.cascade = services.cascade.reconcile(
+        ctx.alice_key,
+        ctx.bob_key,
+        log=ctx.log,
+        error_rate_hint=services.running_qber,
+    )
+    return ctx
+
+
+def _account_cascade(services, ctx: PipelineContext) -> PipelineContext:
+    """Charge a completed Cascade result to the shared engine state.
+
+    This is the half of the stage that touches cross-block state (cumulative
+    statistics, the running QBER estimate, the abort decision), which is why
+    the parallel runtime applies it in block-id order on the coordinator
+    while the reconciliation itself runs on the workers.
+    """
+    result = ctx.cascade
+    services.statistics.disclosed_parities += result.disclosed_parities
+    services.running_qber = 0.5 * services.running_qber + 0.5 * max(
+        result.errors_corrected / max(ctx.sifted_bits, 1), 1e-4
+    )
+    if not result.confirmed:
+        services.statistics.blocks_aborted += 1
+        ctx.abort("error correction failed confirmation")
+    return ctx
+
+
 @register_stage("cascade.bicon")
 class CascadeStage(PipelineStage):
     """BBN Cascade error correction, charging every disclosed parity bit."""
@@ -73,21 +105,40 @@ class CascadeStage(PipelineStage):
 
     def run(self, ctx: PipelineContext) -> PipelineContext:
         services = self.services_for(ctx)
-        result = services.cascade.reconcile(
-            ctx.alice_key,
-            ctx.bob_key,
-            log=ctx.log,
-            error_rate_hint=services.running_qber,
-        )
-        ctx.cascade = result
-        services.statistics.disclosed_parities += result.disclosed_parities
-        services.running_qber = 0.5 * services.running_qber + 0.5 * max(
-            result.errors_corrected / max(ctx.sifted_bits, 1), 1e-4
-        )
-        if not result.confirmed:
-            services.statistics.blocks_aborted += 1
-            ctx.abort("error correction failed confirmation")
-        return ctx
+        ctx = _reconcile_block(services, ctx)
+        return _account_cascade(services, ctx)
+
+
+@register_stage("cascade.compute")
+class CascadeComputeStage(PipelineStage):
+    """Cascade reconciliation *without* the shared-state accounting.
+
+    The parallel runtime (:mod:`repro.runtime`) runs this stage on worker
+    processes against a per-block services bundle; the matching
+    ``cascade.account`` stage later charges the result to the engine's real
+    statistics in block-id order.  The pair composes to exactly
+    ``cascade.bicon``.
+    """
+
+    name = "cascade.compute"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        return _reconcile_block(self.services_for(ctx), ctx)
+
+
+@register_stage("cascade.account")
+class CascadeAccountStage(PipelineStage):
+    """Accounting for a precomputed ``ctx.cascade`` (parallel commit phase)."""
+
+    name = "cascade.account"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        if ctx.cascade is None:
+            raise StageDependencyError(
+                f"{self.name} requires a precomputed Cascade result "
+                "(ctx.cascade is unset)"
+            )
+        return _account_cascade(self.services_for(ctx), ctx)
 
 
 class _EntropyStageBase(PipelineStage):

@@ -55,6 +55,30 @@ class DeterministicRNG:
         )
         return DeterministicRNG(child_seed)
 
+    def fork_labeled(self, label: str) -> "DeterministicRNG":
+        """Derive a child generator from this seed and ``label`` *only*.
+
+        Unlike :meth:`fork`, no per-parent counter enters the derivation, so
+        the child stream depends solely on ``(seed, label)`` — forking the
+        same label twice yields the same stream, and the order in which
+        different labels are forked does not matter.  This is the derivation
+        the parallel runtime uses for its per-block streams
+        (``fork_labeled(f"block/{block_id}")``): a block's randomness is a
+        pure function of the runtime seed and the block id, which is what
+        makes parallel distillation output independent of worker count and
+        scheduling order.
+
+        The key material is framed as ``"<seed>|L|<label>"``; the counter
+        variant uses a decimal counter in that position, so the two
+        derivations can never collide.
+        """
+        base = self.seed if self.seed is not None else 0
+        material = f"{base}|L|{label}".encode()
+        child_seed = int.from_bytes(
+            hashlib.blake2b(material, digest_size=8).digest(), "big"
+        )
+        return DeterministicRNG(child_seed)
+
     # ------------------------------------------------------------------ #
     # Primitive draws
     # ------------------------------------------------------------------ #

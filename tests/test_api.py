@@ -169,3 +169,17 @@ class TestPackageExports:
         assert repro.QKDSystem is QKDSystem
         for name in ("QKDSystem", "SystemConfig", "VPNSystem", "MeshSystem"):
             assert name in repro.__all__
+
+
+class TestParallelismKnob:
+    def test_with_parallelism_propagates_to_engine(self):
+        link = QKDSystem(seed=3).with_parallelism(2, backend="thread").link()
+        assert link.engine.parameters.parallel_workers == 2
+        assert link.engine.parameters.parallel_backend == "thread"
+
+    def test_default_stays_sequential(self):
+        assert QKDSystem(seed=3).link().engine.parameters.parallel_workers is None
+
+    def test_parallelism_can_be_disabled_again(self):
+        system = QKDSystem(seed=3).with_parallelism(4).with_parallelism(None)
+        assert system.config.parallel_workers is None

@@ -133,3 +133,53 @@ class TestMonteCarlo:
         assert channel.signal_click_probability() > QuantumChannel(
             ChannelParameters.for_distance(10.0), DeterministicRNG(8)
         ).signal_click_probability()
+
+
+class TestFrameResultMemory:
+    """The per-slot arrays hold the narrow dtypes and can be released once
+    sifting has extracted the surviving bits (PR 3 memory satellite)."""
+
+    def test_narrow_dtypes(self):
+        channel = QuantumChannel(rng=DeterministicRNG(9))
+        frame = channel.transmit(10_000)
+        assert frame.alice_basis.dtype == np.uint8
+        assert frame.alice_value.dtype == np.uint8
+        assert frame.alice_photons.dtype == np.uint16
+        assert frame.bob_basis.dtype == np.uint8
+        assert frame.bob_click.dtype == bool
+        assert frame.bob_double.dtype == bool
+        assert frame.bob_value.dtype == np.uint8
+
+    def test_release_keeps_summaries_and_drops_arrays(self):
+        channel = QuantumChannel(rng=DeterministicRNG(10))
+        frame = channel.transmit(50_000)
+        summary = (
+            frame.n_slots,
+            frame.n_multi_photon,
+            frame.n_detected,
+            frame.n_sifted,
+            frame.n_sifted_errors,
+            frame.qber,
+        )
+        assert not frame.released
+        frame.release_slot_arrays()
+        assert frame.released
+        # Direct attribute reads fail loudly, not with a NoneType error.
+        with pytest.raises(RuntimeError, match="released"):
+            frame.alice_basis
+        with pytest.raises(RuntimeError, match="released"):
+            frame.bob_value
+        assert (
+            frame.n_slots,
+            frame.n_multi_photon,
+            frame.n_detected,
+            frame.n_sifted,
+            frame.n_sifted_errors,
+            frame.qber,
+        ) == summary
+        # Per-slot access is gone, loudly.
+        with pytest.raises(RuntimeError, match="released"):
+            frame.sifted_indices()
+        # Idempotent.
+        frame.release_slot_arrays()
+        assert frame.n_slots == 50_000

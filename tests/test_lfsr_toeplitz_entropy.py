@@ -14,7 +14,12 @@ from repro.mathkit.entropy import (
     observed_rate_stddev,
     renyi_collision_entropy_rate,
 )
-from repro.mathkit.lfsr import LFSR, lfsr_subset_mask, subset_indices_from_seed
+from repro.mathkit.lfsr import (
+    LFSR,
+    lfsr_subset_mask,
+    lfsr_subset_masks,
+    subset_indices_from_seed,
+)
 from repro.mathkit.toeplitz import ToeplitzHash
 from repro.util.bits import BitString
 from repro.util.rng import DeterministicRNG
@@ -87,6 +92,35 @@ class TestSubsetMask:
     @settings(max_examples=25)
     def test_mask_length_property(self, seed):
         assert len(lfsr_subset_mask(seed, 137)) == 137
+
+
+class TestSubsetMaskBatch:
+    """The batched expansion must be bit-identical to the per-seed one —
+    Cascade's wire format (and the pinned key-material digests) depend on
+    it."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=8),
+        st.sampled_from([1, 7, 8, 9, 64, 137, 500]),
+        st.sampled_from([0.5, 0.25, 0.9]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_single_expansion(self, seeds, length, density):
+        batch = lfsr_subset_masks(seeds, length, density)
+        assert batch == [lfsr_subset_mask(seed, length, density) for seed in seeds]
+
+    def test_empty_batch(self):
+        assert lfsr_subset_masks([], 100) == []
+
+    def test_zero_seed_normalized_like_single(self):
+        # Seed 0 maps to the all-ones register state in both paths.
+        assert lfsr_subset_masks([0], 64) == [lfsr_subset_mask(0, 64)]
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            lfsr_subset_masks([1], -1)
+        with pytest.raises(ValueError):
+            lfsr_subset_masks([1], 10, density=0.0)
 
 
 class TestToeplitz:

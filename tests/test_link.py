@@ -59,6 +59,43 @@ class TestAnalyticModel:
         assert link.estimated_secret_fraction(defense=SlutskyDefense()) <= link.estimated_secret_fraction()
 
 
+class TestDefenseArgument:
+    """Regression: a non-conforming ``defense`` used to fall through to
+    Bennett silently — a plain float (an easy benchmark-sweep mistake) was
+    accepted and ignored."""
+
+    def test_float_is_used_as_per_bit_defense(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(6))
+        # A zero defense must beat the default Bennett term, a huge one must
+        # clamp the fraction to zero — neither happens if it's ignored.
+        assert link.estimated_secret_fraction(defense=0.0) > link.estimated_secret_fraction()
+        assert link.estimated_secret_fraction(defense=1.0) == 0.0
+
+    def test_callable_is_evaluated_at_expected_qber(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(6))
+        seen = []
+
+        def defense_fn(e):
+            seen.append(e)
+            return 0.0
+
+        fraction = link.estimated_secret_fraction(defense=defense_fn)
+        assert seen == [link.expected_qber()]
+        assert fraction == link.estimated_secret_fraction(defense=0.0)
+
+    def test_per_bit_defense_object_still_works(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(6))
+        fraction = link.estimated_secret_fraction(defense=SlutskyDefense())
+        assert 0.0 <= fraction <= 1.0
+
+    def test_non_conforming_object_raises_type_error(self):
+        link = QKDLink(LinkParameters.paper_link(), DeterministicRNG(6))
+        with pytest.raises(TypeError, match="defense"):
+            link.estimated_secret_fraction(defense="bennett")
+        with pytest.raises(TypeError, match="defense"):
+            link.estimated_secret_fraction(defense=object())
+
+
 class TestMonteCarloRun:
     def test_run_produces_key(self, paper_link_report):
         link, report = paper_link_report

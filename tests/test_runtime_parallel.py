@@ -1,0 +1,411 @@
+"""Tests for the deterministic parallel distillation runtime (repro.runtime).
+
+The runtime's contract is scheduling invariance: the distilled key material
+is a pure function of the seeds, never of the worker count, the pool
+backend, or how blocks are partitioned into batches.  These tests pin that
+contract — including a digest of the parallel RNG stream itself, the
+parallel-mode sibling of ``tests/test_pinned_key_material.py``.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.engine import EngineParameters, QKDProtocolEngine, SiftedBlock
+from repro.ipsec.gateway import GatewayPair
+from repro.network.relay import TrustedRelayNetwork
+from repro.runtime import LinkFarm, parallel_map, split_stage_plan
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+BLOCK_BITS = 2048
+ERROR_RATE = 0.06
+
+#: sha256 over the '0'/'1' rendering of every KeyBlock in Alice's pool after
+#: distilling the four standard noisy blocks (seed 7) through the parallel
+#: runtime.  This is the parallel stream's pinned digest — deliberately
+#: different from the sequential path's PINNED_POOL_DIGEST, because parallel
+#: blocks draw from ``block/<id>`` labeled forks instead of the engine's
+#: shared sequential streams.
+PINNED_PARALLEL_POOL_DIGEST = (
+    "42c27d9c93e7c0e1f64e52907c089f9645755294fb30c1457571cbdded14f189"
+)
+
+
+def _noisy_pair(seed, n_bits=BLOCK_BITS, error_rate=ERROR_RATE):
+    rng = DeterministicRNG(seed)
+    reference = BitString.random(n_bits, rng)
+    noisy = reference.to_list()
+    for index in rng.sample(range(n_bits), int(round(error_rate * n_bits))):
+        noisy[index] ^= 1
+    return reference, BitString(noisy)
+
+
+def _workload(n_blocks, error_rate=ERROR_RATE):
+    return [
+        SiftedBlock(*_noisy_pair(100 + seed, error_rate=error_rate), transmitted_pulses=500_000)
+        for seed in range(n_blocks)
+    ]
+
+
+def _pool_digest(engine):
+    digest = hashlib.sha256()
+    for block in engine.alice_pool.blocks:
+        digest.update(str(block.bits).encode())
+    return digest.hexdigest()
+
+
+def _run_parallel(blocks, workers, backend="thread", **params):
+    engine = QKDProtocolEngine(
+        EngineParameters(parallel_workers=workers, parallel_backend=backend, **params),
+        DeterministicRNG(7),
+    )
+    outcomes = engine.distill_blocks(blocks)
+    return engine, outcomes
+
+
+class TestWorkerCountInvariance:
+    def test_distilled_key_identical_for_1_2_4_workers(self):
+        # The issue's acceptance bar: a >=16-block workload, byte-identical
+        # pools and statistics at every worker count.
+        blocks = _workload(16)
+        engines = {
+            workers: _run_parallel(blocks, workers)[0] for workers in (1, 2, 4)
+        }
+        digests = {w: _pool_digest(e) for w, e in engines.items()}
+        assert digests[2] == digests[1]
+        assert digests[4] == digests[1]
+        reference = engines[1].statistics
+        for engine in engines.values():
+            assert engine.keys_match
+            assert engine.statistics.distilled_bits == reference.distilled_bits
+            assert engine.statistics.blocks_distilled == reference.blocks_distilled
+            assert engine.statistics.blocks_aborted == reference.blocks_aborted
+            assert (
+                engine.statistics.disclosed_parities
+                == reference.disclosed_parities
+            )
+        assert reference.distilled_bits > 0
+
+    def test_process_backend_matches_thread_backend(self):
+        blocks = _workload(3)
+        thread_engine, _ = _run_parallel(blocks, 2, backend="thread")
+        process_engine, _ = _run_parallel(blocks, 2, backend="process")
+        assert _pool_digest(process_engine) == _pool_digest(thread_engine)
+
+    def test_batch_partitioning_does_not_change_output(self):
+        # Same four blocks, submitted one at a time vs as one batch.
+        singles = QKDProtocolEngine(
+            EngineParameters(parallel_workers=1, parallel_backend="thread"),
+            DeterministicRNG(7),
+        )
+        for block in _workload(4):
+            singles.distill_block(
+                block.alice_key, block.bob_key, block.transmitted_pulses
+            )
+        batched, _ = _run_parallel(_workload(4), 2)
+        assert _pool_digest(singles) == _pool_digest(batched)
+
+
+class TestPinnedParallelStream:
+    def test_parallel_pool_digest_is_pinned(self):
+        engine, _ = _run_parallel(_workload(4), 2)
+        assert engine.statistics.blocks_distilled == 4
+        assert engine.keys_match
+        assert _pool_digest(engine) == PINNED_PARALLEL_POOL_DIGEST
+
+    def test_parallel_stream_differs_from_sequential_stream(self):
+        # The parallel mode is a documented, separately pinned stream — it
+        # must not silently impersonate the sequential one.
+        sequential = QKDProtocolEngine(EngineParameters(), DeterministicRNG(7))
+        for block in _workload(4):
+            sequential.distill_block(
+                block.alice_key, block.bob_key, block.transmitted_pulses
+            )
+        assert _pool_digest(sequential) != PINNED_PARALLEL_POOL_DIGEST
+
+
+class TestParallelSemantics:
+    def test_high_qber_block_aborts_in_parallel_mode(self):
+        blocks = _workload(3)
+        # Replace the middle block with one above the 15% abort threshold.
+        hot_a, hot_b = _noisy_pair(555, error_rate=0.30)
+        blocks[1] = SiftedBlock(hot_a, hot_b, transmitted_pulses=500_000)
+        for workers in (1, 3):
+            engine, outcomes = _run_parallel(blocks, workers)
+            assert engine.statistics.blocks_aborted == 1
+            assert outcomes[1].aborted
+            assert "exceeds abort threshold" in outcomes[1].abort_reason
+            assert not outcomes[0].aborted and not outcomes[2].aborted
+            assert engine.statistics.blocks_distilled == 2
+
+    def test_custom_stage_plan_is_rejected(self):
+        from repro.pipeline.registry import register_stage, unregister_stage
+        from repro.pipeline.stage import FunctionStage
+
+        register_stage("test.noop", lambda services: FunctionStage("test.noop", lambda ctx: ctx))
+        try:
+            params = EngineParameters(
+                stages=("alarm.qber", "cascade.bicon", "test.noop"),
+                parallel_workers=2,
+                parallel_backend="thread",
+            )
+            engine = QKDProtocolEngine(params, DeterministicRNG(1))
+            with pytest.raises(ValueError, match="built-in stage keys"):
+                engine.distill_blocks(_workload(1))
+        finally:
+            unregister_stage("test.noop")
+
+    def test_alarm_must_lead_the_plan(self):
+        with pytest.raises(ValueError, match="first stage"):
+            split_stage_plan(("cascade.bicon", "alarm.qber"))
+
+    def test_shadowed_builtin_stage_is_rejected(self):
+        # Shadowing a built-in key is a documented registry feature, but the
+        # parallel phase split would silently run the built-in instead —
+        # refuse rather than mislead.
+        from repro.pipeline.registry import register_stage, unregister_stage
+        from repro.pipeline.stage import FunctionStage
+
+        register_stage(
+            "cascade.bicon",
+            lambda services: FunctionStage("cascade.bicon", lambda ctx: ctx),
+        )
+        try:
+            engine = QKDProtocolEngine(
+                EngineParameters(parallel_workers=2, parallel_backend="thread"),
+                DeterministicRNG(1),
+            )
+            with pytest.raises(ValueError, match="shadowed"):
+                engine.distill_blocks(_workload(1))
+        finally:
+            unregister_stage("cascade.bicon")
+
+    def test_swapped_in_pipeline_is_rejected(self):
+        from repro.pipeline import DistillationPipeline
+        from repro.pipeline.stage import FunctionStage
+
+        engine = QKDProtocolEngine(
+            EngineParameters(parallel_workers=2, parallel_backend="thread"),
+            DeterministicRNG(1),
+        )
+        engine.use_pipeline(
+            DistillationPipeline([FunctionStage("noop", lambda ctx: ctx)])
+        )
+        with pytest.raises(ValueError, match="use_pipeline|replaced"):
+            engine.distill_blocks(_workload(1))
+
+    def test_swapped_in_pipeline_with_builtin_names_is_rejected(self):
+        # Matching the registry plan's *names* must not fool the guard: the
+        # workers would still run the built-ins, not these stages.
+        from repro.pipeline import DistillationPipeline
+        from repro.pipeline.stage import FunctionStage
+
+        engine = QKDProtocolEngine(
+            EngineParameters(parallel_workers=2, parallel_backend="thread"),
+            DeterministicRNG(1),
+        )
+        impostor = DistillationPipeline(
+            [
+                FunctionStage(name, lambda ctx: ctx)
+                for name in engine.parameters.stage_plan
+            ]
+        )
+        engine.use_pipeline(impostor)
+        with pytest.raises(ValueError, match="use_pipeline"):
+            engine.distill_blocks(_workload(1))
+
+    def test_in_place_stage_mutation_is_rejected(self):
+        from repro.pipeline.stage import FunctionStage
+
+        engine = QKDProtocolEngine(
+            EngineParameters(parallel_workers=2, parallel_backend="thread"),
+            DeterministicRNG(1),
+        )
+        engine.pipeline.stages[1] = FunctionStage(
+            "cascade.bicon", lambda ctx: ctx
+        )
+        with pytest.raises(ValueError, match="mutated in place"):
+            engine.distill_blocks(_workload(1))
+
+    def test_live_view_component_swap_is_rejected(self):
+        from repro.core.privacy import PrivacyAmplification
+
+        engine = QKDProtocolEngine(
+            EngineParameters(parallel_workers=2, parallel_backend="thread"),
+            DeterministicRNG(1),
+        )
+        engine.privacy = PrivacyAmplification(DeterministicRNG(99))
+        with pytest.raises(ValueError, match="live views"):
+            engine.distill_blocks(_workload(1))
+
+    def test_parameters_update_keeps_parallel_mode_usable(self):
+        # The parameters setter legitimately rebuilds estimator/tester; that
+        # must not trip the swapped-component guard.
+        engine = QKDProtocolEngine(
+            EngineParameters(parallel_workers=2, parallel_backend="thread"),
+            DeterministicRNG(1),
+        )
+        engine.parameters = EngineParameters(
+            parallel_workers=2, parallel_backend="thread", confidence_sigmas=4.0
+        )
+        outcomes = engine.distill_blocks(_workload(1))
+        assert len(outcomes) == 1 and not outcomes[0].aborted
+
+    def test_worker_pool_is_reused_across_batches(self):
+        engine, _ = _run_parallel(_workload(2), 2)
+        distiller = engine._distiller
+        assert distiller is not None
+        executor = distiller._executor
+        assert executor is not None
+        engine.distill_blocks(_workload(2))
+        assert engine._distiller is distiller
+        assert distiller._executor is executor
+        distiller.close()
+        assert distiller._executor is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="worker count"):
+            EngineParameters(parallel_workers=0)
+        with pytest.raises(ValueError, match="backend"):
+            EngineParameters(parallel_backend="gpu")
+
+    def test_slutsky_plan_supported(self):
+        plan = (
+            "alarm.qber",
+            "cascade.bicon",
+            "entropy.slutsky",
+            "privacy.gf2n",
+            "auth.wegman_carter",
+            "deliver.pools",
+        )
+        blocks = _workload(2)
+        one, _ = _run_parallel(blocks, 1, stages=plan, defense="slutsky")
+        two, _ = _run_parallel(blocks, 2, stages=plan, defense="slutsky")
+        assert _pool_digest(one) == _pool_digest(two)
+
+
+class TestForkLabeled:
+    def test_same_label_same_stream(self):
+        rng = DeterministicRNG(42)
+        a = rng.fork_labeled("block/7")
+        b = rng.fork_labeled("block/7")
+        assert a.seed == b.seed
+        assert [a.getrandbits(32) for _ in range(4)] == [
+            b.getrandbits(32) for _ in range(4)
+        ]
+
+    def test_independent_of_fork_counter(self):
+        first = DeterministicRNG(42)
+        second = DeterministicRNG(42)
+        second.fork("something")  # advances the counter on this instance only
+        assert first.fork_labeled("x").seed == second.fork_labeled("x").seed
+
+    def test_distinct_labels_distinct_streams(self):
+        rng = DeterministicRNG(42)
+        assert rng.fork_labeled("block/0").seed != rng.fork_labeled("block/1").seed
+
+    def test_disjoint_from_counter_forks(self):
+        rng = DeterministicRNG(42)
+        labeled = rng.fork_labeled("x").seed
+        counter = DeterministicRNG(42).fork("x").seed
+        assert labeled != counter
+
+
+class TestPoolHelpers:
+    def test_parallel_map_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=4, backend="thread") == [
+            i * i for i in items
+        ]
+
+    def test_parallel_map_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            parallel_map(_square, [1], workers=2, backend="fiber")
+
+
+def _square(x):
+    return x * x
+
+
+class TestLinkFarm:
+    def test_fleet_invariant_under_worker_count(self):
+        jobs = LinkFarm.jobs(2, 450_000, rng=DeterministicRNG(11))
+        runs_one = LinkFarm(workers=1).run(jobs)
+        runs_two = LinkFarm(workers=2, backend="thread").run(jobs)
+        for one, two in zip(runs_one, runs_two):
+            assert one.name == two.name
+            assert one.report.sifted_bits == two.report.sifted_bits
+            assert one.report.distilled_bits == two.report.distilled_bits
+            assert [str(b.bits) for b in one.alice_pool.blocks] == [
+                str(b.bits) for b in two.alice_pool.blocks
+            ]
+
+    def test_links_have_independent_streams(self):
+        jobs = LinkFarm.jobs(2, 100_000, rng=DeterministicRNG(11))
+        assert jobs[0].seed != jobs[1].seed
+
+    def test_fleets_with_different_prefixes_are_disjoint(self):
+        # Two fleets from the same root rng must not repeat key streams —
+        # the name_prefix namespaces the seed labels.
+        rng = DeterministicRNG(11)
+        first = LinkFarm.jobs(2, 100_000, rng=rng, name_prefix="vpn")
+        second = LinkFarm.jobs(2, 100_000, rng=rng, name_prefix="mesh")
+        assert {job.seed for job in first}.isdisjoint(
+            {job.seed for job in second}
+        )
+
+
+class TestRelayParallelRefill:
+    def test_refill_invariant_under_worker_count(self):
+        one = TrustedRelayNetwork.for_mesh(rng=DeterministicRNG(5))
+        two = TrustedRelayNetwork.for_mesh(rng=DeterministicRNG(5))
+        one.run_links_for(2.0, workers=1)
+        two.run_links_for(2.0, workers=3, backend="thread")
+        for pair in one.pairwise_pads:
+            pad_one, pad_two = one.pairwise_pads[pair], two.pairwise_pads[pair]
+            assert pad_one.available_bytes == pad_two.available_bytes
+            sample = min(pad_one.available_bytes, 32)
+            if sample:
+                assert pad_one.peek(sample) == pad_two.peek(sample)
+
+    def test_successive_refills_add_fresh_material(self):
+        mesh = TrustedRelayNetwork.for_mesh(rng=DeterministicRNG(5))
+        mesh.run_links_for(1.0, workers=1)
+        pair = next(iter(mesh.pairwise_pads))
+        first = mesh.pairwise_pads[pair].peek(16)
+        before = mesh.pairwise_pads[pair].available_bytes
+        mesh.run_links_for(1.0, workers=1)
+        assert mesh.pairwise_pads[pair].available_bytes > before
+        # The second epoch's material must not repeat the first's (pad reuse
+        # would be a one-time-pad catastrophe).
+        pad = mesh.pairwise_pads[pair]
+        second = pad.peek(pad.available_bytes)[before : before + 16]
+        assert second != first
+
+
+class TestGatewayProvisioning:
+    def test_fleet_invariant_under_worker_count(self):
+        # ~1.4M slots per link: enough sifted bits for one full 2048-bit
+        # block, so the fleet actually delivers key into the gateways' pools.
+        pairs_one = GatewayPair.provision_many(
+            2, slots_per_link=1_400_000, rng=DeterministicRNG(9), workers=1
+        )
+        pairs_two = GatewayPair.provision_many(
+            2, slots_per_link=1_400_000, rng=DeterministicRNG(9), workers=2, backend="thread"
+        )
+        distilled = 0
+        for one, two in zip(pairs_one, pairs_two):
+            assert one.alice.key_pool.bits_added == two.alice.key_pool.bits_added
+            assert [str(b.bits) for b in one.alice.key_pool.blocks] == [
+                str(b.bits) for b in two.alice.key_pool.blocks
+            ]
+            distilled += one.alice.key_pool.bits_added
+        assert distilled > 0, "the fleet's links should have distilled key"
+
+    def test_pairs_are_distinct(self):
+        pairs = GatewayPair.provision_many(
+            2, slots_per_link=100_000, rng=DeterministicRNG(9), workers=1
+        )
+        assert pairs[0].alice.name != pairs[1].alice.name
+        assert pairs[0].alice.address != pairs[1].alice.address
