@@ -6,6 +6,12 @@ very little space".  Detections are rare (one slot in a few hundred at the
 operating point), so the run-length encoded indication is dramatically
 smaller than a naive explicit-index listing, and the advantage grows as the
 link gets lossier (detections get rarer).
+
+Since PR 4 the engine carries the run-length encoding in a binary wire format
+(varint runs + bit-packed bases, :mod:`repro.core.wire`), with the original
+JSON encoding retained as the reference; this benchmark therefore compares
+**three** encodings — naive explicit indices, JSON-RLE, binary-RLE — so the
+paper's compression claim is quantified against the deployed wire format.
 """
 
 from benchmarks.conftest import run_once
@@ -31,6 +37,7 @@ def test_e12_rle_vs_naive_sift_messages(benchmark, table):
                     "distance": distance,
                     "detections": len(naive.detected_slots),
                     "rle_bytes": rle.size_bytes,
+                    "json_rle_bytes": len(rle.encode_json()),
                     "bitmap_bytes": rle.uncompressed_bitmap_bytes,
                     "index_bytes": naive.size_bytes,
                     "ratio": rle.uncompressed_bitmap_bytes / rle.size_bytes,
@@ -40,15 +47,16 @@ def test_e12_rle_vs_naive_sift_messages(benchmark, table):
 
     rows = run_once(benchmark, experiment)
     table(
-        f"E12: sift message size for {SLOTS:,} slots — per-slot bitmap vs run-length encoding",
-        ["km", "detections", "per-slot bitmap bytes", "RLE bytes", "explicit indices bytes", "bitmap / RLE"],
+        f"E12: sift message size for {SLOTS:,} slots — naive indices vs JSON-RLE vs binary-RLE",
+        ["km", "detections", "per-slot bitmap bytes", "naive index bytes", "JSON-RLE bytes", "binary-RLE bytes", "bitmap / binary"],
         [
             [
                 r["distance"],
                 r["detections"],
                 r["bitmap_bytes"],
-                r["rle_bytes"],
                 r["index_bytes"],
+                r["json_rle_bytes"],
+                r["rle_bytes"],
                 f"{r['ratio']:.1f}x",
             ]
             for r in rows
@@ -60,8 +68,13 @@ def test_e12_rle_vs_naive_sift_messages(benchmark, table):
     assert all(r["ratio"] > 3.0 for r in rows)
     ratios = [r["ratio"] for r in rows]
     assert ratios == sorted(ratios)
-    # It is also no worse than an explicit index listing.
-    assert all(r["rle_bytes"] <= r["index_bytes"] for r in rows)
+    # The encodings strictly improve: binary-RLE < JSON-RLE < explicit indices.
+    assert all(r["rle_bytes"] < r["json_rle_bytes"] for r in rows)
+    assert all(r["json_rle_bytes"] <= r["index_bytes"] for r in rows)
+    # The binary wire format is a solid multiple tighter than the JSON
+    # reference carrying the same runs (varints + bit-packed bases vs decimal
+    # digit lists; ~2.8x across the distance sweep on the reference run).
+    assert all(r["json_rle_bytes"] / r["rle_bytes"] > 2.0 for r in rows)
 
 
 def test_e12_rle_scales_with_detections_not_slots(benchmark, table):

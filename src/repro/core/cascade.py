@@ -37,6 +37,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from repro.core.messages import (
     CascadeBisectQuery,
     CascadeBisectReply,
@@ -154,9 +156,14 @@ class _SubsetRecord:
     def segment_mask(self, lo: int, hi: int) -> int:
         """Mask of ``indices[lo:hi]`` via the lazily built prefix masks."""
         if self.prefix is None:
-            prefix = [0] * (len(self.indices) + 1)
+            positions = (
+                self.indices.tolist()
+                if isinstance(self.indices, np.ndarray)
+                else self.indices
+            )
+            prefix = [0] * (len(positions) + 1)
             accumulated = 0
-            for position, index in enumerate(self.indices):
+            for position, index in enumerate(positions):
                 accumulated |= 1 << index
                 prefix[position + 1] = accumulated
             self.prefix = prefix
@@ -264,6 +271,10 @@ class CascadeProtocol:
         errors_corrected = 0
         rank_tracker = IncrementalGF2Rank(columns=n)
         records: List[_SubsetRecord] = []
+        # Numpy mirror of the records' parities, active while a round's
+        # mismatches are being worked: the "find the first mismatched subset"
+        # scan is one vectorized compare instead of a Python walk per fix.
+        parity_mirror: Optional[np.ndarray] = None
 
         def disclose_mask_parity(mask: int) -> int:
             """Alice discloses the reference parity of a subset mask."""
@@ -278,11 +289,14 @@ class CascadeProtocol:
         def fix_bit(index: int) -> None:
             """Flip the located error bit and update every recorded parity."""
             nonlocal working, errors_corrected
+            index = int(index)
             working ^= 1 << index
             errors_corrected += 1
-            for record in records:
+            for position, record in enumerate(records):
                 if (record.mask >> index) & 1:
                     record.working_parity ^= 1
+                    if parity_mirror is not None:
+                        parity_mirror[position] ^= 1
 
         def bisect(record: _SubsetRecord, round_index: int, subset_index: int) -> None:
             """Divide-and-conquer search for one error inside a mismatched subset.
@@ -298,7 +312,9 @@ class CascadeProtocol:
                     CascadeBisectQuery(
                         round_index=round_index,
                         subset_index=subset_index,
-                        indices=tuple(record.indices[lo:mid]),
+                        # An O(1) array view; the binary codec delta-encodes
+                        # it only when the transcript is serialized.
+                        indices=record.indices[lo:mid],
                     )
                 )
                 half_mask = record.segment_mask(lo, mid)
@@ -318,20 +334,31 @@ class CascadeProtocol:
             fix_bit(record.indices[lo])
 
         def work_all_mismatches(round_index: int) -> None:
-            """Bisect every mismatched record until all recorded parities agree."""
-            while True:
-                mismatched = next(
-                    (
-                        (index, record)
-                        for index, record in enumerate(records)
-                        if record.mismatched
-                    ),
-                    None,
-                )
-                if mismatched is None:
-                    break
-                subset_index, record = mismatched
-                bisect(record, round_index, subset_index)
+            """Bisect every mismatched record until all recorded parities agree.
+
+            Always works the lowest-index mismatched record first (the same
+            order the per-record scan used), but finds it with one vectorized
+            compare over the parity mirror, which ``fix_bit`` keeps current.
+            """
+            nonlocal parity_mirror
+            if not records:
+                return
+            count = len(records)
+            reference_parities = np.fromiter(
+                (record.reference_parity for record in records), np.uint8, count
+            )
+            parity_mirror = np.fromiter(
+                (record.working_parity for record in records), np.uint8, count
+            )
+            try:
+                while True:
+                    mismatched = np.flatnonzero(parity_mirror != reference_parities)
+                    if mismatched.size == 0:
+                        break
+                    subset_index = int(mismatched[0])
+                    bisect(records[subset_index], round_index, subset_index)
+            finally:
+                parity_mirror = None
 
         # ---------------- First pass: contiguous blocks ("subranges") -------- #
         if params.block_first_pass:
@@ -352,7 +379,7 @@ class CascadeProtocol:
                 records.append(
                     _SubsetRecord(
                         seed=start,
-                        indices=list(range(start, stop)),
+                        indices=np.arange(start, stop, dtype=np.int64),
                         mask=mask,
                         reference_parity=reference_parity,
                         working_parity=working_parity(mask),
@@ -393,7 +420,7 @@ class CascadeProtocol:
                 round_records.append(
                     _SubsetRecord(
                         seed=seed,
-                        indices=subset_bits.one_indices(),
+                        indices=subset_bits.one_indices_array(),
                         mask=mask,
                         reference_parity=reference_parity,
                         working_parity=working_parity(mask),

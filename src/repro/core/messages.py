@@ -10,20 +10,55 @@ Each message knows how to serialise itself to bytes (:meth:`encode`), both so
 the authentication layer can tag real byte strings and so message sizes can
 be reported (the run-length-encoding experiment E12 compares encodings by
 size).
+
+Two encodings exist side by side:
+
+* **binary** (:mod:`repro.core.wire`) — the engine's wire format for the hot
+  messages (sift, sift response, Cascade announcements/replies/bisections):
+  a 1-byte kind tag, fixed little-endian header fields, LEB128 varints for
+  run lengths and index deltas, and ``np.packbits`` bitmaps for bases /
+  accept masks / parities.  ``encode()`` on those messages produces it and
+  :func:`decode_message` round-trips it.
+* **JSON** (:meth:`encode_json`, available on every message) — the reference
+  encoding, kept for the E12 size comparison and as the readable oracle the
+  binary round-trip tests compare against.  The infrequent messages
+  (privacy amplification, authentication tags, the benchmark-only naive sift
+  listing) use it as their ``encode()`` directly.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
+import numpy as np
+
+from repro.core import wire
 from repro.util.bits import BitString
 
+IntArray = Union[List[int], np.ndarray]
 
-def _encode_payload(kind: str, payload: Dict) -> bytes:
-    """Stable JSON encoding used for authentication tags and size accounting."""
+
+def _json_ready(value):
+    """Coerce numpy containers/scalars to JSON-native types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_json_ready(v) for v in value]
+    return value
+
+
+def _encode_json_payload(kind: str, payload: Dict) -> bytes:
+    """Stable JSON encoding used as the reference wire format."""
+    payload = {key: _json_ready(value) for key, value in payload.items()}
     return json.dumps({"kind": kind, **payload}, sort_keys=True, separators=(",", ":")).encode()
+
+
+# Backwards-compatible alias (PR 1-3 call sites and docs name this helper).
+_encode_payload = _encode_json_payload
 
 
 @dataclass
@@ -33,16 +68,31 @@ class SiftMessage:
     The slot indication is run-length encoded (paper Appendix, "Sifting /
     Run-Length Encoding"): long runs of no-detection slots compress to almost
     nothing.  ``detection_runs`` alternates (no-detection run length,
-    detection run length, ...) starting with a no-detection run.
+    detection run length, ...) starting with a no-detection run.  Both
+    array-valued fields may be numpy arrays (the engine's hot path keeps them
+    packed) or plain lists (tests, hand-built messages).
     """
 
     frame_id: int
     n_slots: int
-    detection_runs: List[int]
-    detected_bases: List[int]
+    detection_runs: IntArray
+    detected_bases: IntArray
 
     def encode(self) -> bytes:
-        return _encode_payload(
+        """Binary wire encoding: header, packed bases bitmap, varint runs."""
+        runs = np.asarray(self.detection_runs)
+        header = wire.pack_header(
+            wire.KIND_SIFT,
+            "IIII",
+            self.frame_id,
+            self.n_slots,
+            runs.size,
+            len(self.detected_bases),
+        )
+        return header + wire.pack_bitmap(self.detected_bases) + wire.encode_varints(runs)
+
+    def encode_json(self) -> bytes:
+        return _encode_json_payload(
             "sift",
             {
                 "frame": self.frame_id,
@@ -50,6 +100,21 @@ class SiftMessage:
                 "runs": self.detection_runs,
                 "bases": self.detected_bases,
             },
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SiftMessage":
+        (frame_id, n_slots, n_runs, n_bases), payload = wire.unpack_header(
+            data, wire.KIND_SIFT, "IIII"
+        )
+        split = wire.bitmap_size(n_bases)
+        bases = wire.unpack_bitmap(payload[:split], n_bases)
+        runs = wire.decode_varints(payload[split:], n_runs)
+        return cls(
+            frame_id=frame_id,
+            n_slots=n_slots,
+            detection_runs=runs.astype(np.int64),
+            detected_bases=bases,
         )
 
     @property
@@ -73,12 +138,26 @@ class SiftResponseMessage:
 
     frame_id: int
     #: One bit per reported detection, 1 = bases matched (keep), 0 = discard.
-    accept_mask: List[int]
+    accept_mask: IntArray
 
     def encode(self) -> bytes:
-        return _encode_payload(
+        """Binary wire encoding: header plus the bit-packed accept mask."""
+        header = wire.pack_header(
+            wire.KIND_SIFT_RESPONSE, "II", self.frame_id, len(self.accept_mask)
+        )
+        return header + wire.pack_bitmap(self.accept_mask)
+
+    def encode_json(self) -> bytes:
+        return _encode_json_payload(
             "sift-response", {"frame": self.frame_id, "accept": self.accept_mask}
         )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SiftResponseMessage":
+        (frame_id, n_accept), payload = wire.unpack_header(
+            data, wire.KIND_SIFT_RESPONSE, "II"
+        )
+        return cls(frame_id=frame_id, accept_mask=wire.unpack_bitmap(payload, n_accept))
 
     @property
     def size_bytes(self) -> int:
@@ -90,7 +169,8 @@ class NaiveSiftMessage:
     """The uncompressed alternative sift message (explicit slot indices).
 
     Carried only by the E12 benchmark to quantify what run-length encoding
-    saves; never used by the engine itself.
+    saves; never used by the engine itself.  Stays on the JSON reference
+    encoding — it exists to be the unoptimized baseline.
     """
 
     frame_id: int
@@ -99,7 +179,7 @@ class NaiveSiftMessage:
     detected_bases: List[int]
 
     def encode(self) -> bytes:
-        return _encode_payload(
+        return _encode_json_payload(
             "sift-naive",
             {
                 "frame": self.frame_id,
@@ -108,6 +188,8 @@ class NaiveSiftMessage:
                 "bases": self.detected_bases,
             },
         )
+
+    encode_json = encode
 
     @property
     def size_bytes(self) -> int:
@@ -121,11 +203,30 @@ class CascadeSubsetAnnouncement:
 
     round_index: int
     key_length: int
-    seeds: List[int]
-    parities: List[int]
+    seeds: IntArray
+    parities: IntArray
 
     def encode(self) -> bytes:
-        return _encode_payload(
+        """Binary wire encoding: header, fixed u32 seeds, parity bitmap."""
+        header = wire.pack_header(
+            wire.KIND_CASCADE_SUBSETS,
+            "iII",
+            self.round_index,
+            self.key_length,
+            len(self.seeds),
+        )
+        seeds = np.asarray(self.seeds)
+        if seeds.size and (int(seeds.min()) < 0 or int(seeds.max()) >= 1 << 32):
+            raise ValueError("announcement seeds must fit in 32 bits")
+        if seeds.size and not np.issubdtype(seeds.dtype, np.integer):
+            if not np.array_equal(seeds, seeds.astype(np.int64)):
+                raise ValueError("announcement seeds must be integers")
+        if len(self.parities) != len(self.seeds):
+            raise ValueError("announcement needs one parity per seed")
+        return header + seeds.astype("<u4").tobytes() + wire.pack_bitmap(self.parities)
+
+    def encode_json(self) -> bytes:
+        return _encode_json_payload(
             "cascade-subsets",
             {
                 "round": self.round_index,
@@ -135,17 +236,49 @@ class CascadeSubsetAnnouncement:
             },
         )
 
+    @classmethod
+    def decode(cls, data: bytes) -> "CascadeSubsetAnnouncement":
+        (round_index, key_length, n_seeds), payload = wire.unpack_header(
+            data, wire.KIND_CASCADE_SUBSETS, "iII"
+        )
+        seed_bytes = 4 * n_seeds
+        if len(payload) < seed_bytes:
+            raise wire.WireDecodeError("announcement truncated inside seed table")
+        seeds = np.frombuffer(payload[:seed_bytes], dtype="<u4").astype(np.int64)
+        parities = wire.unpack_bitmap(payload[seed_bytes:], n_seeds)
+        return cls(
+            round_index=round_index,
+            key_length=key_length,
+            seeds=seeds.tolist(),
+            parities=parities,
+        )
+
 
 @dataclass
 class CascadeParityReply:
     """Responder -> initiator: the responder's parities over the same subsets."""
 
     round_index: int
-    parities: List[int]
+    parities: IntArray
 
     def encode(self) -> bytes:
-        return _encode_payload(
+        header = wire.pack_header(
+            wire.KIND_CASCADE_PARITIES, "iI", self.round_index, len(self.parities)
+        )
+        return header + wire.pack_bitmap(self.parities)
+
+    def encode_json(self) -> bytes:
+        return _encode_json_payload(
             "cascade-parities", {"round": self.round_index, "parities": self.parities}
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CascadeParityReply":
+        (round_index, n_parities), payload = wire.unpack_header(
+            data, wire.KIND_CASCADE_PARITIES, "iI"
+        )
+        return cls(
+            round_index=round_index, parities=wire.unpack_bitmap(payload, n_parities)
         )
 
 
@@ -157,14 +290,99 @@ class CascadeBisectQuery:
     subset_index: int
     indices: Tuple[int, ...]
 
+    #: Payload modes (one byte after the fixed header).
+    _MODE_DELTAS = 0
+    _MODE_RANGE = 1
+    #: Decode-side cap on range-mode expansion (far above any real key
+    #: block, small enough that a hostile header cannot force a big alloc).
+    _MAX_DECODED_INDICES = 1 << 20
+
     def encode(self) -> bytes:
-        return _encode_payload(
+        """Binary wire encoding: header, a mode byte, then the indices.
+
+        Bisection always queries an ascending index slice.  A contiguous
+        slice (every first-pass block subrange) is sent as just its first
+        index (mode 1); anything else is delta-varint coded (mode 0), which
+        is ~1 byte per index.  A hand-built query with out-of-order indices
+        falls back to the JSON reference encoding (still deterministic,
+        still taggable).
+        """
+        indices = np.asarray(self.indices, dtype=np.int64)
+        min_delta = (
+            int(np.diff(indices).min()) if indices.size > 1 else 1
+        )
+        if indices.size and (
+            indices[0] < 0
+            or min_delta < 0
+            # Ascending, so the last index is the max; the decoder caps
+            # deltas (and therefore values) at 32 bits.
+            or int(indices[-1]) >= 1 << 32
+        ):
+            return self.encode_json()
+        header = wire.pack_header(
+            wire.KIND_CASCADE_BISECT,
+            "iII",
+            self.round_index,
+            self.subset_index,
+            indices.size,
+        )
+        if indices.size and min_delta == 1 and (
+            int(indices[-1] - indices[0]) == indices.size - 1
+        ):
+            # Strictly contiguous ascending range (min delta 1 with the exact
+            # span means every delta is 1): first index is the whole payload.
+            return (
+                header
+                + bytes([self._MODE_RANGE])
+                + wire.encode_varints(indices[:1])
+            )
+        return (
+            header
+            + bytes([self._MODE_DELTAS])
+            + wire.encode_ascending_indices(indices)
+        )
+
+    def encode_json(self) -> bytes:
+        return _encode_json_payload(
             "cascade-bisect",
             {
                 "round": self.round_index,
                 "subset": self.subset_index,
                 "indices": list(self.indices),
             },
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CascadeBisectQuery":
+        (round_index, subset_index, n_indices), payload = wire.unpack_header(
+            data, wire.KIND_CASCADE_BISECT, "iII"
+        )
+        if not payload:
+            raise wire.WireDecodeError("bisect query missing its mode byte")
+        mode, payload = payload[0], payload[1:]
+        if mode == cls._MODE_RANGE:
+            if n_indices == 0:
+                raise wire.WireDecodeError("range-coded bisect query cannot be empty")
+            if n_indices > cls._MAX_DECODED_INDICES:
+                # Delta mode pays ~1 byte per index, so a hostile message
+                # cannot get large output from small input there; range mode
+                # must bound the expansion explicitly.
+                raise wire.WireDecodeError(
+                    f"range-coded bisect query claims {n_indices} indices "
+                    f"(limit {cls._MAX_DECODED_INDICES})"
+                )
+            first = int(wire.decode_varints(payload, 1)[0])
+            indices = tuple(range(first, first + n_indices))
+        elif mode == cls._MODE_DELTAS:
+            indices = tuple(
+                int(i) for i in wire.decode_ascending_indices(payload, n_indices)
+            )
+        else:
+            raise wire.WireDecodeError(f"unknown bisect query mode {mode}")
+        return cls(
+            round_index=round_index,
+            subset_index=subset_index,
+            indices=indices,
         )
 
 
@@ -177,7 +395,16 @@ class CascadeBisectReply:
     parity: int
 
     def encode(self) -> bytes:
-        return _encode_payload(
+        return wire.pack_header(
+            wire.KIND_CASCADE_BISECT_REPLY,
+            "iIB",
+            self.round_index,
+            self.subset_index,
+            self.parity & 1,
+        )
+
+    def encode_json(self) -> bytes:
+        return _encode_json_payload(
             "cascade-bisect-reply",
             {
                 "round": self.round_index,
@@ -186,6 +413,13 @@ class CascadeBisectReply:
             },
         )
 
+    @classmethod
+    def decode(cls, data: bytes) -> "CascadeBisectReply":
+        (round_index, subset_index, parity), _ = wire.unpack_header(
+            data, wire.KIND_CASCADE_BISECT_REPLY, "iIB"
+        )
+        return cls(round_index=round_index, subset_index=subset_index, parity=parity)
+
 
 @dataclass
 class PrivacyAmplificationMessage:
@@ -193,7 +427,8 @@ class PrivacyAmplificationMessage:
 
     Exactly the four things the paper lists: the number of output bits m, the
     sparse primitive polynomial of the Galois field, an n-bit multiplier, and
-    an m-bit polynomial to add (XOR) with the product.
+    an m-bit polynomial to add (XOR) with the product.  One per block, so the
+    JSON reference encoding stays its wire format.
     """
 
     output_bits: int
@@ -203,7 +438,7 @@ class PrivacyAmplificationMessage:
     addend: int
 
     def encode(self) -> bytes:
-        return _encode_payload(
+        return _encode_json_payload(
             "privacy-amplification",
             {
                 "m": self.output_bits,
@@ -214,6 +449,8 @@ class PrivacyAmplificationMessage:
             },
         )
 
+    encode_json = encode
+
 
 @dataclass
 class AuthenticationTagMessage:
@@ -223,13 +460,40 @@ class AuthenticationTagMessage:
     tag_bits: List[int]
 
     def encode(self) -> bytes:
-        return _encode_payload(
+        return _encode_json_payload(
             "auth-tag", {"covered": self.covered_messages, "tag": self.tag_bits}
         )
+
+    encode_json = encode
 
     @property
     def tag(self) -> BitString:
         return BitString(self.tag_bits)
+
+
+#: Binary message kinds, keyed by their wire tag (see :func:`decode_message`).
+_BINARY_KINDS = {
+    wire.KIND_SIFT: SiftMessage,
+    wire.KIND_SIFT_RESPONSE: SiftResponseMessage,
+    wire.KIND_CASCADE_SUBSETS: CascadeSubsetAnnouncement,
+    wire.KIND_CASCADE_PARITIES: CascadeParityReply,
+    wire.KIND_CASCADE_BISECT: CascadeBisectQuery,
+    wire.KIND_CASCADE_BISECT_REPLY: CascadeBisectReply,
+}
+
+
+def decode_message(data: bytes):
+    """Decode one binary wire message back into its message object.
+
+    Only the binary-coded (hot) kinds are decodable; JSON reference
+    encodings are not meant to round-trip through this function.
+    """
+    if not data:
+        raise wire.WireDecodeError("empty message")
+    cls = _BINARY_KINDS.get(data[0])
+    if cls is None:
+        raise wire.WireDecodeError(f"unknown binary message kind 0x{data[0]:02x}")
+    return cls.decode(data)
 
 
 @dataclass

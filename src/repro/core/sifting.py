@@ -18,12 +18,26 @@ measure the savings (experiment E12).
 Importantly for security accounting, the sift exchange reveals *which* slots
 were detected and which bases were used, but never reveals bit values; sifting
 therefore discloses no key information to Eve.
+
+Vectorization contract
+----------------------
+
+The announcement path stays in packed numpy arrays end to end:
+:func:`run_length_encode` is a few whole-array passes
+(``np.flatnonzero``/``np.diff`` over the click mask), decoding detections is
+O(detections) rather than O(slots), and ``SiftResult``/message internals carry
+uint8/intp arrays instead of per-slot Python lists.  The original scalar loop
+is retained as :func:`run_length_encode_scalar` — it is the behavioural
+oracle; ``tests/test_sifting.py`` pins the vectorized encoder against it on
+randomized inputs and real frames.  Both produce the *identical* runs list:
+alternating (zeros-run, ones-run, ...) lengths starting with a zeros-run that
+may be empty, with ``sum(runs) == len(flags)`` always.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,12 +50,11 @@ from repro.util.bits import BitString
 # Run-length encoding of the detection indication
 # --------------------------------------------------------------------------- #
 
-def run_length_encode(flags: Sequence[int]) -> List[int]:
-    """Encode a 0/1 detection sequence as alternating run lengths.
+def run_length_encode_scalar(flags: Sequence[int]) -> List[int]:
+    """Reference scalar run-length encoder (the differential-test oracle).
 
-    The encoding always starts with the length of an initial run of zeros
-    (which may be zero if the first slot was a detection) and then alternates
-    (ones-run, zeros-run, ...).  ``sum(runs) == len(flags)`` always holds.
+    This is the original per-flag loop; :func:`run_length_encode` must produce
+    the identical runs list for every input.  Kept unoptimized on purpose.
     """
     runs: List[int] = []
     current_value = 0
@@ -58,20 +71,90 @@ def run_length_encode(flags: Sequence[int]) -> List[int]:
     return runs
 
 
+def run_length_encode_mask(mask: np.ndarray) -> np.ndarray:
+    """Vectorized run-length encode of a boolean/0-1 array.
+
+    Returns the alternating run lengths as an ``int64`` array — the same list
+    :func:`run_length_encode_scalar` produces, computed in a handful of
+    whole-array passes: run boundaries are the indices where adjacent flags
+    differ (``np.flatnonzero`` over a shifted comparison), run lengths their
+    ``np.diff``, plus a leading empty zeros-run when the first slot was a
+    detection.
+    """
+    arr = np.asarray(mask)
+    if arr.ndim != 1:
+        arr = np.ravel(arr)
+    if arr.dtype != bool:
+        arr = arr != 0
+    n = arr.size
+    if n == 0:
+        return np.array([0], dtype=np.int64)
+    changes = np.flatnonzero(arr[1:] != arr[:-1])
+    bounds = np.empty(changes.size + 2, dtype=np.int64)
+    bounds[0] = 0
+    bounds[1:-1] = changes + 1
+    bounds[-1] = n
+    runs = np.diff(bounds)
+    if arr[0]:
+        # The encoding always starts with a zeros-run; emit it empty.
+        runs = np.concatenate((np.zeros(1, dtype=np.int64), runs))
+    return runs
+
+
+def run_length_encode(flags: Union[Sequence[int], np.ndarray]) -> List[int]:
+    """Encode a 0/1 detection sequence as alternating run lengths.
+
+    The encoding always starts with the length of an initial run of zeros
+    (which may be zero if the first slot was a detection) and then alternates
+    (ones-run, zeros-run, ...).  ``sum(runs) == len(flags)`` always holds.
+
+    Vectorized; produces exactly the runs list of
+    :func:`run_length_encode_scalar` (the retained oracle).
+    """
+    return run_length_encode_mask(np.asarray(flags)).tolist()
+
+
+def _validated_runs(runs: Sequence[int], expected_length: Optional[int]) -> np.ndarray:
+    """Convert run lengths to an int64 array, rejecting bad input *cheaply*.
+
+    Validation happens before any output-sized allocation: negative or
+    oversized runs, and a run sum that does not match ``expected_length``,
+    are all rejected from the (small) runs array alone — a malicious sift
+    message can no longer force materialization of an arbitrarily large
+    decoded sequence.
+    """
+    try:
+        arr = np.asarray(runs, dtype=np.int64)
+    except (OverflowError, TypeError, ValueError):
+        raise ValueError("run lengths must be machine-size non-negative integers")
+    if arr.ndim != 1:
+        raise ValueError("run lengths must be a flat sequence")
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError("run lengths must be non-negative")
+    if expected_length is not None:
+        # Reject oversized runs before summing so a handful of huge runs
+        # can't overflow the accumulator, then check the exact total.
+        if arr.size and int(arr.max()) > expected_length:
+            raise ValueError(
+                f"run length exceeds expected sequence length {expected_length}"
+            )
+        total = int(arr.sum())
+        if total != expected_length:
+            raise ValueError(
+                f"decoded length {total} does not match expected {expected_length}"
+            )
+    return arr
+
+
 def run_length_decode(runs: Sequence[int], expected_length: Optional[int] = None) -> List[int]:
-    """Decode alternating run lengths back into the 0/1 detection sequence."""
-    flags: List[int] = []
-    value = 0
-    for run in runs:
-        if run < 0:
-            raise ValueError("run lengths must be non-negative")
-        flags.extend([value] * run)
-        value ^= 1
-    if expected_length is not None and len(flags) != expected_length:
-        raise ValueError(
-            f"decoded length {len(flags)} does not match expected {expected_length}"
-        )
-    return flags
+    """Decode alternating run lengths back into the 0/1 detection sequence.
+
+    Validates ``sum(runs) == expected_length`` (when given) *before*
+    materializing the output, so hostile run lists fail fast and cheap.
+    """
+    arr = _validated_runs(runs, expected_length)
+    values = np.arange(arr.size, dtype=np.int64) & 1
+    return np.repeat(values, arr).tolist()
 
 
 # --------------------------------------------------------------------------- #
@@ -84,8 +167,10 @@ class SiftResult:
 
     alice_key: BitString
     bob_key: BitString
-    #: Slot indices (into the originating frame batch) of each sifted bit.
-    slot_indices: List[int]
+    #: Slot indices (into the originating frame batch) of each sifted bit,
+    #: as an ``np.ndarray`` — the announcement path never materializes
+    #: per-slot Python lists.
+    slot_indices: np.ndarray
     n_slots_transmitted: int
     n_detections_reported: int
     sift_message: SiftMessage
@@ -130,9 +215,8 @@ class SiftingProtocol:
     def build_sift_message(self, frame: FrameResult) -> SiftMessage:
         """Bob reports which slots produced a usable click, and his bases."""
         usable = frame.usable_clicks
-        flags = usable.astype(np.uint8).tolist()
-        runs = run_length_encode(flags)
-        detected_bases = frame.bob_basis[usable].astype(int).tolist()
+        runs = run_length_encode_mask(usable)
+        detected_bases = frame.bob_basis[usable]
         return SiftMessage(
             frame_id=self.frame_id,
             n_slots=frame.n_slots,
@@ -165,7 +249,7 @@ class SiftingProtocol:
             sift_message.detected_bases, dtype=int
         )
         return SiftResponseMessage(
-            frame_id=self.frame_id, accept_mask=accept.astype(int).tolist()
+            frame_id=self.frame_id, accept_mask=accept.astype(np.uint8)
         )
 
     # -- Both sides ------------------------------------------------------ #
@@ -181,7 +265,7 @@ class SiftingProtocol:
         return SiftResult(
             alice_key=_extract_key_bits(frame.alice_value, kept),
             bob_key=_extract_key_bits(frame.bob_value, kept),
-            slot_indices=kept.tolist(),
+            slot_indices=kept,
             n_slots_transmitted=frame.n_slots,
             n_detections_reported=len(detected_slots),
             sift_message=sift_message,
@@ -190,18 +274,32 @@ class SiftingProtocol:
 
 
 def _decode_detected_slots(sift_message: SiftMessage, n_slots: int) -> np.ndarray:
-    """Slot indices of the reported detections, decoded from the run lengths."""
-    runs = np.asarray(sift_message.detection_runs, dtype=np.intp)
-    if np.any(runs < 0):
-        raise ValueError("run lengths must be non-negative")
-    if int(runs.sum()) != n_slots:
-        raise ValueError(
-            f"decoded length {int(runs.sum())} does not match expected {n_slots}"
-        )
-    # Runs alternate zeros/ones starting with zeros: detections are the slots
-    # covered by the odd-position runs.
-    flags = np.repeat(np.arange(len(runs), dtype=np.intp) & 1, runs)
-    return np.nonzero(flags)[0]
+    """Slot indices of the reported detections, decoded from the run lengths.
+
+    Runs alternate zeros/ones starting with zeros, so the detections are the
+    slots covered by the odd-position runs.  The decode is O(detections):
+    each odd run ``[start, start + length)`` expands to a contiguous index
+    range via one ``np.repeat`` plus one ``np.arange`` — the n_slots-sized
+    flags array is never materialized.  All validation (non-negative runs,
+    ``sum(runs) == n_slots``) happens first, on the small runs array.
+    """
+    runs = _validated_runs(sift_message.detection_runs, n_slots)
+    ends = np.cumsum(runs)
+    ones_lengths = runs[1::2]
+    ones_starts = ends[1::2] - ones_lengths
+    nonempty = ones_lengths > 0
+    if not nonempty.all():
+        ones_lengths = ones_lengths[nonempty]
+        ones_starts = ones_starts[nonempty]
+    total = int(ones_lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Offset each run's start by the detections counted so far; adding a
+    # global arange then yields consecutive indices inside every run.
+    offsets = np.cumsum(ones_lengths) - ones_lengths
+    return np.repeat(ones_starts - offsets, ones_lengths) + np.arange(
+        total, dtype=np.int64
+    )
 
 
 def _extract_key_bits(values: np.ndarray, slots: np.ndarray) -> BitString:

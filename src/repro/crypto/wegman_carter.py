@@ -151,12 +151,17 @@ class WegmanCarterAuthenticator:
         a 32-bit length marker appended (so messages that differ only by
         trailing zero-padding hash differently).  The whole chain runs on
         packed words: the message plus marker is always a whole number of
-        bytes, and when the chunk payload is byte-aligned (every default
-        configuration) each chunk is sliced directly out of the byte string —
-        no per-bit work anywhere on the transcript hot path.
+        bytes, and when the geometry is byte-aligned (every default
+        configuration) the entire chain executes inside
+        :meth:`ToeplitzHash.chained_hash_aligned` — message bytes feed the
+        carry-less-multiply window table directly, with no per-chunk big-int
+        assembly or padding allocations anywhere on the transcript hot path.
         """
         payload = self.block_bits - self.tag_bits
         data = message + (len(message) % (1 << 32)).to_bytes(4, "big")
+        if payload % 8 == 0 and self.tag_bits % 8 == 0:
+            digest = self._hash.chained_hash_aligned(data, payload // 8)
+            return BitString.from_int(digest, self.tag_bits)
         if payload % 8 == 0:
             payload_bytes = payload // 8
             digest = 0

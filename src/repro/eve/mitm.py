@@ -55,7 +55,7 @@ class ManInTheMiddleAttack:
         report = TamperReport()
 
         for message in tampered.messages:
-            if isinstance(message, CascadeParityReply) and message.parities:
+            if isinstance(message, CascadeParityReply) and len(message.parities) > 0:
                 index = self.rng.randint(0, len(message.parities) - 1)
                 message.parities[index] ^= 1
                 report.messages_modified += 1
@@ -63,7 +63,7 @@ class ManInTheMiddleAttack:
                     f"flipped cascade parity {index} in round {message.round_index}"
                 )
                 break
-            if isinstance(message, CascadeSubsetAnnouncement) and message.parities:
+            if isinstance(message, CascadeSubsetAnnouncement) and len(message.parities) > 0:
                 index = self.rng.randint(0, len(message.parities) - 1)
                 message.parities[index] ^= 1
                 report.messages_modified += 1
@@ -71,7 +71,7 @@ class ManInTheMiddleAttack:
                     f"flipped announced parity {index} in round {message.round_index}"
                 )
                 break
-            if isinstance(message, SiftMessage) and message.detected_bases:
+            if isinstance(message, SiftMessage) and len(message.detected_bases) > 0:
                 index = self.rng.randint(0, len(message.detected_bases) - 1)
                 message.detected_bases[index] ^= 1
                 report.messages_modified += 1

@@ -131,6 +131,48 @@ class ToeplitzHash:
             product = (product << 8) ^ table[byte]
         return (product >> (pad + n - 1)) & self._out_mask
 
+    def chained_hash_aligned(self, data: bytes, payload_bytes: int, init: int = 0) -> int:
+        """Run the whole Wegman-Carter chaining loop over byte-aligned blocks.
+
+        Computes ``digest = T(digest || chunk || zero-pad)`` for consecutive
+        ``payload_bytes``-sized chunks of ``data``, starting from ``init``,
+        and returns the final packed digest value.  Equivalent to calling
+        :meth:`hash_value` on ``(digest << chunk_bits) | chunk`` per chunk,
+        but the key bytes feed the window table directly — no per-chunk
+        big-int assembly, ``to_bytes`` round trip, or padding shifts.  The
+        trailing zero bytes of a short final block contribute one shift
+        (``table[0] == 0``).
+
+        Requires ``input_bits``, ``output_bits`` and ``payload_bytes * 8`` to
+        tile exactly: ``input_bits == output_bits + 8 * payload_bytes`` with
+        both bit counts byte-aligned (the authentication layer's default
+        256/32 geometry).  Callers with exotic geometries use the generic
+        :meth:`hash_value` path instead.
+        """
+        if self.input_bits % 8 or self.output_bits % 8:
+            raise ValueError("chained_hash_aligned requires byte-aligned geometry")
+        if self.output_bits + 8 * payload_bytes != self.input_bits:
+            raise ValueError(
+                "payload bytes must fill input_bits minus the chained digest"
+            )
+        table = self._window
+        out_bytes = self.output_bits // 8
+        shift = self.input_bits - 1
+        mask = self._out_mask
+        digest = init
+        for start in range(0, len(data), payload_bytes):
+            chunk = data[start : start + payload_bytes]
+            product = 0
+            for byte in digest.to_bytes(out_bytes, "big"):
+                product = (product << 8) ^ table[byte]
+            for byte in chunk:
+                product = (product << 8) ^ table[byte]
+            pad = payload_bytes - len(chunk)
+            if pad:
+                product <<= 8 * pad
+            digest = (product >> shift) & mask
+        return digest
+
     def matrix_rows(self) -> List[BitString]:
         """The rows of the Toeplitz matrix (mainly for tests and inspection).
 

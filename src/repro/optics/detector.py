@@ -118,9 +118,20 @@ class GatedAPDPair:
 
         # Each arriving photon independently survives the receiver optics and
         # triggers the APD with the quantum efficiency.  The probability that
-        # at least one of k photons is detected is 1 - (1 - T*eta)^k.
+        # at least one of k photons is detected is 1 - (1 - T*eta)^k.  The
+        # photon counts are tiny integers (Poisson, mu ~ 0.1), so the power is
+        # evaluated once per distinct count and gathered — np.power is
+        # elementwise, so the table entries are bit-identical to the
+        # whole-array call this replaces.
         per_photon = p.receiver_transmittance * p.quantum_efficiency
-        signal_click_prob = 1.0 - np.power(1.0 - per_photon, photons_at_receiver)
+        if n and np.issubdtype(photons_at_receiver.dtype, np.integer):
+            counts = np.arange(
+                int(photons_at_receiver.max()) + 1, dtype=photons_at_receiver.dtype
+            )
+            table = 1.0 - np.power(1.0 - per_photon, counts)
+            signal_click_prob = table[photons_at_receiver]
+        else:
+            signal_click_prob = 1.0 - np.power(1.0 - per_photon, photons_at_receiver)
         signal_click = numpy_rng.random(n) < signal_click_prob
 
         dark0 = numpy_rng.random(n) < p.dark_count_probability
@@ -148,7 +159,7 @@ class GatedAPDPair:
         # Registered value: D1 means "1".  Where both fired the value is
         # meaningless and the slot will be discarded; fill with a coin flip so
         # downstream code never reads uninitialised data.
-        value = np.where(detector1_fired & ~detector0_fired, 1, 0).astype(np.uint8)
+        value = (detector1_fired & ~detector0_fired).view(np.uint8)
         coin = numpy_rng.integers(0, 2, size=n, dtype=np.uint8)
         value = np.where(double, coin, value)
 

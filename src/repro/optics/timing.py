@@ -67,15 +67,22 @@ class BrightPulseFraming:
         """
         if n_slots < 0:
             raise ValueError("slot count must be non-negative")
-        slots = np.arange(n_slots, dtype=np.int64)
         per_frame = self.parameters.slots_per_frame
-        frame_index = slots // per_frame
+        n_frames = -(-n_slots // per_frame)
+        # Build the per-slot arrays by repetition/tiling instead of dividing
+        # 1.5M slot numbers: same values, a fraction of the passes.
+        frame_index = np.repeat(np.arange(n_frames, dtype=np.int64), per_frame)[:n_slots]
         frame_numbers = frame_index + self._next_frame_number
-        slot_in_frame = slots % per_frame
+        slot_in_frame = np.tile(np.arange(per_frame, dtype=np.int64), n_frames)[:n_slots]
 
-        n_frames = int(frame_index[-1]) + 1 if n_slots else 0
         frame_ok = self._numpy_rng.random(n_frames) >= self.parameters.frame_loss_probability
-        frame_received = frame_ok[frame_index] if n_slots else np.zeros(0, dtype=bool)
+        if n_slots == 0:
+            frame_received = np.zeros(0, dtype=bool)
+        elif frame_ok.all():
+            # No frame lost (the default link): skip the per-slot gather.
+            frame_received = np.ones(n_slots, dtype=bool)
+        else:
+            frame_received = frame_ok[frame_index]
 
         self._next_frame_number += n_frames
         return frame_numbers, slot_in_frame, frame_received

@@ -44,6 +44,8 @@ from __future__ import annotations
 from itertools import groupby
 from typing import Iterable, Iterator, List, Sequence, Union
 
+import numpy as _np
+
 
 class BitString:
     """An immutable sequence of bits with cryptographic convenience methods.
@@ -184,8 +186,28 @@ class BitString:
         return [1 if ch == "1" else 0 for ch in self._bin()]
 
     def one_indices(self) -> List[int]:
-        """Indices of the one bits, ascending (e.g. Cascade subset positions)."""
-        return [i for i, ch in enumerate(self._bin()) if ch == "1"]
+        """Indices of the one bits, ascending (e.g. Cascade subset positions).
+
+        Runs on packed words: the value is rendered to bytes once and the
+        positions come from one ``np.unpackbits``/``np.flatnonzero`` pass —
+        Cascade expands two subset masks per disclosed parity through here,
+        so the per-bit string scan this replaces was a measurable slice of
+        every reconciliation.
+        """
+        return self.one_indices_array().tolist()
+
+    def one_indices_array(self) -> "_np.ndarray":
+        """The one-bit indices as an ``np.int64`` array (no list round trip).
+
+        Cascade keeps each subset's member indices in this form so bisection
+        can slice O(1) views out of it.
+        """
+        if self._length == 0:
+            return _np.zeros(0, dtype=_np.int64)
+        n_bytes = (self._length + 7) // 8
+        data = (self._value << (n_bytes * 8 - self._length)).to_bytes(n_bytes, "big")
+        bits = _np.unpackbits(_np.frombuffer(data, dtype=_np.uint8), count=self._length)
+        return _np.flatnonzero(bits)
 
     def copy(self) -> "BitString":
         """Return an independent ``BitString`` instance with the same bits.

@@ -189,6 +189,22 @@ class TestCryptoHelpers:
         assert BitString().runs() == []
         assert BitString([1]).runs() == [1]
 
+    def test_one_indices_matches_enumeration(self):
+        import numpy as np
+        import random
+
+        rng = random.Random(41)
+        for _ in range(200):
+            bits = [rng.randint(0, 1) for _ in range(rng.randint(0, 200))]
+            expected = [i for i, b in enumerate(bits) if b]
+            bs = BitString(bits)
+            assert bs.one_indices() == expected
+            as_array = bs.one_indices_array()
+            assert isinstance(as_array, np.ndarray)
+            assert as_array.tolist() == expected
+        assert BitString().one_indices() == []
+        assert BitString().one_indices_array().tolist() == []
+
 
 class TestProperties:
     @given(bit_lists)

@@ -197,6 +197,39 @@ class TestToeplitz:
         b = BitString.random(64, rng)
         assert hasher.hash(a ^ b) == hasher.hash(a) ^ hasher.hash(b)
 
+    def test_chained_hash_aligned_matches_per_chunk_hash_value(self):
+        """The byte-fed chaining loop equals the generic per-chunk chain.
+
+        ``chained_hash_aligned`` is the Wegman-Carter hot path; it must be
+        bit-identical to hashing ``(digest << chunk_bits) | chunk`` zero-padded
+        through :meth:`hash_value` one block at a time.
+        """
+        rng = DeterministicRNG(9)
+        for input_bits, output_bits in ((256, 32), (128, 16), (64, 8)):
+            hasher = ToeplitzHash.random(input_bits, output_bits, rng)
+            payload_bytes = (input_bits - output_bits) // 8
+            for length in (0, 1, payload_bytes - 1, payload_bytes, 3 * payload_bytes + 5):
+                data = bytes(
+                    (length * 37 + i * 101) % 256 for i in range(length)
+                )
+                digest = 0
+                for start in range(0, len(data), payload_bytes):
+                    chunk = data[start : start + payload_bytes]
+                    chunk_bits = 8 * len(chunk)
+                    padded = (digest << chunk_bits) | int.from_bytes(chunk, "big")
+                    padded <<= input_bits - output_bits - chunk_bits
+                    digest = hasher.hash_value(padded)
+                assert hasher.chained_hash_aligned(data, payload_bytes) == digest
+
+    def test_chained_hash_aligned_rejects_bad_geometry(self):
+        rng = DeterministicRNG(10)
+        hasher = ToeplitzHash.random(256, 32, rng)
+        with pytest.raises(ValueError):
+            hasher.chained_hash_aligned(b"abc", 27)  # 32 + 8*27 != 256
+        odd = ToeplitzHash.random(31, 5, rng)
+        with pytest.raises(ValueError):
+            odd.chained_hash_aligned(b"abc", 3)
+
     def test_collision_rate_is_near_universal(self):
         """Random distinct inputs collide at roughly 2^-m under a random member."""
         rng = DeterministicRNG(8)

@@ -1,8 +1,11 @@
 """Tests for the protocol message objects and the public-channel transcript."""
 
+import numpy as np
 import pytest
 
+from repro.core import wire
 from repro.core.messages import (
+    decode_message,
     AuthenticationTagMessage,
     CascadeBisectQuery,
     CascadeBisectReply,
@@ -64,6 +67,195 @@ class TestEncoding:
     def test_auth_tag_view(self):
         message = AuthenticationTagMessage(covered_messages=3, tag_bits=[1, 0, 1])
         assert message.tag == BitString([1, 0, 1])
+
+    def test_numpy_and_list_fields_encode_identically(self):
+        """The hot path hands messages numpy arrays; same bytes either way."""
+        as_list = SiftMessage(
+            frame_id=2, n_slots=50, detection_runs=[40, 2, 8], detected_bases=[1, 0]
+        )
+        as_array = SiftMessage(
+            frame_id=2,
+            n_slots=50,
+            detection_runs=np.array([40, 2, 8], dtype=np.int64),
+            detected_bases=np.array([1, 0], dtype=np.uint8),
+        )
+        assert as_list.encode() == as_array.encode()
+        assert as_list.encode_json() == as_array.encode_json()
+
+
+def binary_messages():
+    """One instance of every binary-coded (hot) message kind."""
+    return [
+        SiftMessage(frame_id=1, n_slots=1000, detection_runs=[990, 1, 9], detected_bases=[0]),
+        SiftMessage(frame_id=0, n_slots=0, detection_runs=[0], detected_bases=[]),
+        SiftMessage(
+            frame_id=7,
+            n_slots=300,
+            detection_runs=[0, 2, 128, 1, 169],
+            detected_bases=[1, 0, 1],
+        ),
+        SiftResponseMessage(frame_id=1, accept_mask=[1]),
+        SiftResponseMessage(frame_id=9, accept_mask=[1, 0, 1, 1, 0, 0, 1, 0, 1]),
+        SiftResponseMessage(frame_id=3, accept_mask=[]),
+        CascadeSubsetAnnouncement(round_index=0, key_length=100, seeds=[1, 2], parities=[0, 1]),
+        CascadeSubsetAnnouncement(
+            round_index=-1, key_length=2048, seeds=[0, 12, 24], parities=[1, 1, 0]
+        ),
+        CascadeParityReply(round_index=0, parities=[0, 0]),
+        CascadeParityReply(round_index=-1, parities=[]),
+        CascadeBisectQuery(round_index=0, subset_index=1, indices=(1, 2, 3)),
+        CascadeBisectQuery(round_index=4, subset_index=0, indices=()),
+        CascadeBisectQuery(round_index=2, subset_index=63, indices=(0, 7, 700, 70000)),
+        CascadeBisectReply(round_index=0, subset_index=1, parity=1),
+        CascadeBisectReply(round_index=-1, subset_index=0, parity=0),
+    ]
+
+
+class TestBinaryWireCodec:
+    """The binary codec must round-trip to semantic equality with JSON."""
+
+    def test_round_trip_preserves_json_semantics(self):
+        # decode(encode(m)) must describe the same protocol content as m:
+        # the JSON reference encoding is the semantic fingerprint.
+        for message in binary_messages():
+            decoded = decode_message(message.encode())
+            assert type(decoded) is type(message)
+            assert decoded.encode_json() == message.encode_json(), message
+
+    def test_round_trip_is_stable(self):
+        for message in binary_messages():
+            encoded = message.encode()
+            assert decode_message(encoded).encode() == encoded
+
+    def test_binary_kinds_have_distinct_tags(self):
+        tags = {m.encode()[0] for m in binary_messages()}
+        assert len(tags) == 6
+        # JSON messages start with '{'; binary tags must never collide.
+        assert b"{"[0] not in tags
+
+    def test_binary_is_smaller_than_json_on_realistic_content(self):
+        rng = np.random.default_rng(5)
+        runs = rng.integers(1, 400, size=401).tolist()
+        bases = rng.integers(0, 2, size=200).tolist()
+        message = SiftMessage(
+            frame_id=3, n_slots=sum(runs), detection_runs=runs, detected_bases=bases
+        )
+        assert len(message.encode()) < len(message.encode_json()) / 2.5
+
+    def test_decode_message_rejects_garbage(self):
+        with pytest.raises(wire.WireDecodeError):
+            decode_message(b"")
+        with pytest.raises(wire.WireDecodeError):
+            decode_message(b"\xff\x00\x00")
+        with pytest.raises(wire.WireDecodeError):
+            decode_message(b'{"kind":"sift"}')
+
+    def test_decode_message_rejects_truncation(self):
+        for message in binary_messages():
+            encoded = message.encode()
+            if len(encoded) <= 1:
+                continue
+            with pytest.raises(wire.WireDecodeError):
+                decode_message(encoded[: len(encoded) // 2])
+
+    def test_unordered_bisect_indices_fall_back_to_json(self):
+        query = CascadeBisectQuery(round_index=0, subset_index=0, indices=(5, 3, 9))
+        assert query.encode() == query.encode_json()
+
+    def test_duplicate_bisect_indices_round_trip_exactly(self):
+        # (1, 1, 3) spans size-1 positions but is NOT a contiguous range; it
+        # must not be range-coded into (1, 2, 3).
+        query = CascadeBisectQuery(round_index=0, subset_index=0, indices=(1, 1, 3))
+        assert decode_message(query.encode()).indices == (1, 1, 3)
+
+    def test_range_coded_bisect_decode_bounds_expansion(self):
+        # A hostile header claiming 2^32-1 indices in range mode must be
+        # rejected before the index tuple is materialized.
+        import struct
+
+        hostile = (
+            bytes([wire.KIND_CASCADE_BISECT])
+            + struct.pack("<iII", 0, 0, 0xFFFFFFFF)
+            + bytes([1])  # mode: contiguous range
+            + b"\x00"  # first index 0
+        )
+        with pytest.raises(wire.WireDecodeError):
+            decode_message(hostile)
+
+    def test_huge_bisect_indices_fall_back_to_json(self):
+        # Values past the decoder's 32-bit delta cap must not produce a
+        # binary message that decode_message then rejects.
+        query = CascadeBisectQuery(
+            round_index=0, subset_index=0, indices=(2**33, 2**33 + 2)
+        )
+        assert query.encode() == query.encode_json()
+
+    def test_varints_reject_fractional_values(self):
+        with pytest.raises(ValueError):
+            wire.encode_varints([1.7])
+        with pytest.raises(ValueError):
+            wire.encode_varints(np.full(300, 1.7))
+        message = CascadeSubsetAnnouncement(
+            round_index=0, key_length=10, seeds=np.array([1.5]), parities=[0]
+        )
+        with pytest.raises(ValueError):
+            message.encode()
+
+    def test_announcement_rejects_out_of_range_seeds(self):
+        for seeds in ([2**32 + 5], np.array([2**32 + 5], dtype=np.int64), [-3]):
+            message = CascadeSubsetAnnouncement(
+                round_index=0, key_length=10, seeds=seeds, parities=[0]
+            )
+            with pytest.raises((ValueError, OverflowError)):
+                message.encode()
+
+
+class TestVarints:
+    def test_known_encodings(self):
+        assert wire.encode_varints([0]) == b"\x00"
+        assert wire.encode_varints([127]) == b"\x7f"
+        assert wire.encode_varints([128]) == b"\x80\x01"
+        assert wire.encode_varints([300]) == b"\xac\x02"
+        assert wire.encode_varints([]) == b""
+
+    def test_round_trip_randomized(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            values = rng.integers(0, 2**62, size=int(rng.integers(0, 200)))
+            data = wire.encode_varints(values)
+            assert wire.decode_varints(data, values.size).tolist() == values.tolist()
+
+    def test_round_trip_64bit_extremes(self):
+        values = [0, 1, 2**7 - 1, 2**7, 2**32, 2**63, 2**64 - 1]
+        data = wire.encode_varints(values)
+        assert wire.decode_varints(data, len(values)).tolist() == values
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            wire.encode_varints([-1])
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_varints(b"\x80", 1)
+
+    def test_decode_rejects_wrong_count(self):
+        data = wire.encode_varints([1, 2, 3])
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_varints(data, 2)
+
+    def test_decode_rejects_overlong(self):
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_varints(b"\x80" * 10 + b"\x01", 1)
+
+    def test_bitmap_round_trip(self):
+        rng = np.random.default_rng(13)
+        for count in (0, 1, 7, 8, 9, 64, 200):
+            bits = rng.integers(0, 2, size=count)
+            packed = wire.pack_bitmap(bits)
+            assert len(packed) == (count + 7) // 8
+            assert wire.unpack_bitmap(packed, count).tolist() == bits.tolist()
+        with pytest.raises(wire.WireDecodeError):
+            wire.unpack_bitmap(b"\x00", 9)
 
 
 class TestPublicChannelLog:
