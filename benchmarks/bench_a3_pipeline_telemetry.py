@@ -16,16 +16,15 @@ leaves the cost profile comparable.
 smoke job, which only asserts the telemetry shape, not absolute time.
 """
 
-import os
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import int_env, run_once
 from repro.core.engine import EngineParameters, QKDProtocolEngine
 from repro.util.bits import BitString
 from repro.util.rng import DeterministicRNG
 
-BLOCK_BITS = int(os.environ.get("BENCH_A3_BLOCK_BITS", 2048))
+BLOCK_BITS = int_env("BENCH_A3_BLOCK_BITS", 2048, minimum=1)
 ERROR_RATE = 0.06
-N_BLOCKS = int(os.environ.get("BENCH_A3_BLOCKS", 8))
+N_BLOCKS = int_env("BENCH_A3_BLOCKS", 8, minimum=1)
 
 SLUTSKY_PLAN = (
     "alarm.qber",

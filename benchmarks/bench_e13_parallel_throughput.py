@@ -26,14 +26,14 @@ import hashlib
 import os
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import choice_env, int_env, run_once
 from repro.core.engine import EngineParameters, QKDProtocolEngine, SiftedBlock
 from repro.util.bits import BitString
 from repro.util.rng import DeterministicRNG
 
-BLOCK_BITS = int(os.environ.get("BENCH_E13_BLOCK_BITS", 2048))
-N_BLOCKS = int(os.environ.get("BENCH_E13_BLOCKS", 16))
-BACKEND = os.environ.get("BENCH_E13_BACKEND", "process")
+BLOCK_BITS = int_env("BENCH_E13_BLOCK_BITS", 2048, minimum=1)
+N_BLOCKS = int_env("BENCH_E13_BLOCKS", 16, minimum=2)
+BACKEND = choice_env("BENCH_E13_BACKEND", "process", ("process", "thread"))
 WORKER_COUNTS = (1, 2, 4)
 ERROR_RATE = 0.06
 

@@ -31,22 +31,20 @@ import hashlib
 import os
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import float_env, int_env, run_once
 from repro.eve.intercept_resend import InterceptResendAttack
 from repro.link.qkd_link import LinkParameters, QKDLink
 from repro.util.rng import DeterministicRNG
 
-MAX_SLOTS = int(os.environ.get("BENCH_E14_SLOTS", 1_500_000))
+MAX_SLOTS = int_env("BENCH_E14_SLOTS", 1_500_000, minimum=1)
 SLOT_SWEEP = tuple(s for s in (500_000, 1_500_000) if s <= MAX_SLOTS) or (MAX_SLOTS,)
 #: Pre-PR 4 end-to-end throughput on the reference container (1.5M slots in
 #: ~0.526 s); the speedup gate is measured against this.
-BASELINE_SLOTS_PER_SEC = float(
-    os.environ.get("BENCH_E14_BASELINE_SLOTS_PER_SEC", 2.85e6)
-)
-MIN_SPEEDUP = float(os.environ.get("BENCH_E14_MIN_SPEEDUP", 2.5))
+BASELINE_SLOTS_PER_SEC = float_env("BENCH_E14_BASELINE_SLOTS_PER_SEC", 2.85e6)
+MIN_SPEEDUP = float_env("BENCH_E14_MIN_SPEEDUP", 2.5)
 #: Timed repetitions per configuration; the fastest is reported, which keeps
 #: a single-shot scheduling hiccup on a busy host from tripping the gate.
-REPS = int(os.environ.get("BENCH_E14_REPS", 3))
+REPS = int_env("BENCH_E14_REPS", 3, minimum=1)
 
 
 def _run_best(slots, seed, attacked):

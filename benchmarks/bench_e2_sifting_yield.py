@@ -10,7 +10,6 @@ Part one reproduces that worked example exactly (1 % detection probability);
 part two reports the sifted yield of the actual simulated link.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.sifting import SiftingProtocol

@@ -26,6 +26,57 @@ import sys
 import pytest
 
 
+def _knob_error(name, raw, expected):
+    """A malformed BENCH_* knob fails loudly at collection, naming the knob.
+
+    Without this, a typo like ``BENCH_E15_HOURS=2h`` surfaces as a bare
+    ``ValueError`` traceback from deep inside a benchmark run, with nothing
+    pointing at the environment variable that caused it.
+    """
+    return pytest.UsageError(
+        f"Malformed benchmark knob {name}={raw!r}: expected {expected}. "
+        f"Unset it or give it a valid value."
+    )
+
+
+def int_env(name, default, minimum=None):
+    """Read an integer BENCH_* knob with a clear error on malformed input."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise _knob_error(name, raw, "an integer") from None
+    if minimum is not None and value < minimum:
+        raise _knob_error(name, raw, f"an integer >= {minimum}")
+    return value
+
+
+def float_env(name, default, minimum=None):
+    """Read a float BENCH_* knob with a clear error on malformed input."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise _knob_error(name, raw, "a number") from None
+    if minimum is not None and value < minimum:
+        raise _knob_error(name, raw, f"a number >= {minimum}")
+    return value
+
+
+def choice_env(name, default, choices):
+    """Read an enumerated BENCH_* knob with a clear error on bad values."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    if raw not in choices:
+        raise _knob_error(name, raw, f"one of {tuple(choices)}")
+    return raw
+
+
 def emit(title, headers, rows):
     """Print a small aligned table so the benchmark output reads like the paper."""
     print(f"\n=== {title} ===", file=sys.stderr)

@@ -1,7 +1,8 @@
 """Package metadata for the repro QKD simulation library.
 
-Kept as a plain setup.py (rather than pyproject.toml) so `pip install -e .`
-works in minimal environments without the `wheel`/`build` packages.
+Metadata lives here; pyproject.toml carries only the build-system
+declaration and shared tool configuration (ruff), so `pip install -e .`
+keeps working in minimal environments.
 """
 
 import re

@@ -19,6 +19,10 @@ Pearson and Troxel as a pure-Python simulation and protocol library:
 * :mod:`repro.runtime` — the deterministic parallel distillation runtime:
   block- and link-level scheduling across worker pools with output invariant
   under worker count.
+* :mod:`repro.kms` — continuous-operation key management: per-peer-pair key
+  stores with reservation semantics, depletion-driven replenishment across
+  the mesh, traffic-driven IKE rekey workloads, and failure/attack handling
+  under the simulated event clock.
 * :mod:`repro.api` — the top-level facade: :class:`~repro.api.QKDSystem`
   assembles links, VPNs and relay meshes from one config object.
 
@@ -32,6 +36,13 @@ entry points, and ``ROADMAP.md`` for where the system is headed.
 """
 
 from repro.api import MeshSystem, QKDSystem, SystemConfig, VPNSystem
+from repro.kms import (
+    KeyManagementService,
+    KmsConfig,
+    SoakReport,
+    TrafficWorkload,
+    WorkloadProfile,
+)
 
 __version__ = "1.0.0"
 
@@ -41,4 +52,9 @@ __all__ = [
     "SystemConfig",
     "VPNSystem",
     "MeshSystem",
+    "KeyManagementService",
+    "KmsConfig",
+    "SoakReport",
+    "TrafficWorkload",
+    "WorkloadProfile",
 ]

@@ -37,6 +37,8 @@ from typing import Optional, Tuple
 
 from repro.core.engine import EngineParameters
 from repro.ipsec.gateway import GatewayPair
+from repro.kms.service import KeyManagementService, KmsConfig, SoakReport
+from repro.kms.workload import TrafficWorkload, WorkloadProfile
 from repro.ipsec.packets import IPPacket
 from repro.ipsec.spd import CipherSuite, SecurityPolicy
 from repro.link.qkd_link import LinkParameters, LinkReport, QKDLink
@@ -345,6 +347,50 @@ class MeshSystem:
         return tuple(
             f"endpoint-{i}" for i in range(self.config.n_endpoints)
         )
+
+    # ------------------------------------------------------------------ #
+    # Continuous operation (repro.kms)
+    # ------------------------------------------------------------------ #
+
+    def kms(
+        self,
+        config: Optional[KmsConfig] = None,
+        workload: Optional[TrafficWorkload] = None,
+    ) -> KeyManagementService:
+        """A key-management runtime over this mesh (see :mod:`repro.kms`).
+
+        The service is built but not yet running — arm failures and attacks
+        (:meth:`KeyManagementService.schedule_link_cut`,
+        :meth:`~repro.kms.service.KeyManagementService.schedule_attack`)
+        and then call :meth:`KeyManagementService.serve`.  The service's RNG
+        derives from the system seed by label, so a given
+        ``(SystemConfig, KmsConfig, workload)`` always replays the same run.
+        """
+        rng = DeterministicRNG(self.config.seed).fork_labeled("kms")
+        if workload is None:
+            workload = TrafficWorkload(
+                WorkloadProfile.poisson(), rng.fork_labeled("workload")
+            )
+        return KeyManagementService(
+            self.relays, config=config, workload=workload, rng=rng
+        )
+
+    def serve(
+        self,
+        workload: Optional[TrafficWorkload] = None,
+        hours: float = 1.0,
+        config: Optional[KmsConfig] = None,
+    ) -> SoakReport:
+        """Operate the mesh continuously for ``hours`` of simulated time.
+
+        ``QKDSystem(seed).mesh(...).serve(workload, hours=...)`` is the
+        one-line entry point to the paper's headline scenario: a relay mesh
+        sustaining many IPsec consumers' rekey demand, with replenishment,
+        contention, and starvation accounting.  Builds a fresh
+        :meth:`kms` service and runs it once; the run continues from the
+        mesh's current pad levels (a prefilled mesh starts warm).
+        """
+        return self.kms(config=config, workload=workload).serve(hours=hours)
 
     def __repr__(self) -> str:
         return (

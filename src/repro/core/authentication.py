@@ -19,13 +19,11 @@ overwhelming probability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
 
 from repro.core.messages import AuthenticationTagMessage, PublicChannelLog
 from repro.crypto.wegman_carter import (
     AuthenticationError,
-    KeyPoolExhaustedError,
     SharedSecretPool,
     WegmanCarterAuthenticator,
 )

@@ -47,7 +47,7 @@ from repro.core.messages import (
     PublicChannelLog,
 )
 from repro.mathkit.gf2 import IncrementalGF2Rank
-from repro.mathkit.lfsr import lfsr_subset_mask, lfsr_subset_masks
+from repro.mathkit.lfsr import lfsr_subset_masks
 from repro.util.bits import BitString
 from repro.util.rng import DeterministicRNG
 

@@ -39,7 +39,7 @@ documented deviation.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.mathkit.entropy import combine_stddevs, eavesdropping_failure_probability

@@ -54,6 +54,8 @@ class KeyPool:
     _head_offset: int = 0
     bits_added: int = 0
     bits_consumed: int = 0
+    #: Bits dropped by age-based expiry (see :meth:`expire_older_than`).
+    bits_expired: int = 0
     #: Optional cap on stored bits, modelling a bounded key store.
     capacity_bits: Optional[int] = None
 
@@ -117,6 +119,40 @@ class KeyPool:
     def peek_available(self) -> int:
         """Alias kept for symmetry with the IKE extension's Qblock accounting."""
         return self.available_bits
+
+    # ------------------------------------------------------------------ #
+    # Ageing
+    # ------------------------------------------------------------------ #
+
+    def drop_head_blocks(self, count: int) -> int:
+        """Drop up to ``count`` whole blocks from the FIFO head; returns bits.
+
+        The expiry primitive: dropped bits are accounted as expired (not
+        consumed), and a partially consumed head block only counts its
+        remaining bits.  Two synchronised pools dropping the same count stay
+        in lock-step.
+        """
+        dropped = 0
+        for _ in range(min(count, len(self.blocks))):
+            head = self.blocks.pop(0)
+            dropped += len(head) - self._head_offset
+            self._head_offset = 0
+        self.bits_expired += dropped
+        return dropped
+
+    def expire_older_than(self, cutoff: float) -> int:
+        """Drop whole blocks created before ``cutoff``; returns bits dropped.
+
+        Key-management policy may bound how long distilled key sits in a
+        reservoir before it is considered stale (a compromise-window limit);
+        expiry is block-granular and only ever drops from the FIFO head.
+        """
+        count = 0
+        for block in self.blocks:
+            if block.created_at >= cutoff:
+                break
+            count += 1
+        return self.drop_head_blocks(count)
 
     def __repr__(self) -> str:
         return (

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from repro.mathkit.entropy import binary_entropy
 from repro.util.bits import BitString

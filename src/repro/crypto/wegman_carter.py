@@ -24,7 +24,6 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.mathkit.toeplitz import ToeplitzHash
 from repro.util.bits import BitString

@@ -17,12 +17,11 @@ supported, matching the SPD's :class:`CipherSuite`:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.aes import AES
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
-from repro.crypto.otp import OneTimePad, PadExhaustedError
+from repro.crypto.otp import PadExhaustedError
 from repro.crypto.sha1 import hmac_sha1
 from repro.ipsec.packets import ESPPacket, IPPacket
 from repro.ipsec.sad import SecurityAssociation

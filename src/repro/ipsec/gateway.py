@@ -17,15 +17,15 @@ cryptography" of the paper's abstract.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.keypool import KeyPool
 from repro.ipsec.esp import EspError, EspProcessor
 from repro.ipsec.ike import IKEConfig, IKEDaemon, NegotiationError
 from repro.ipsec.packets import ESPPacket, IPPacket
 from repro.ipsec.sad import SecurityAssociation, SecurityAssociationDatabase
-from repro.ipsec.spd import CipherSuite, PolicyAction, SecurityPolicy, SecurityPolicyDatabase
+from repro.ipsec.spd import PolicyAction, SecurityPolicy, SecurityPolicyDatabase
 from repro.sim.clock import SimClock
 from repro.util.rng import DeterministicRNG
 

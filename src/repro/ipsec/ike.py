@@ -24,10 +24,10 @@ have diverged).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.core.keypool import KeyPool, KeyPoolExhaustedError
+from repro.core.keypool import KeyPool
 from repro.crypto.otp import OneTimePad
 from repro.crypto.sha1 import hmac_sha1, prf_expand
 from repro.ipsec.sad import SecurityAssociation, SecurityAssociationDatabase

@@ -10,8 +10,7 @@ and enforce anti-replay.
 from __future__ import annotations
 
 import ipaddress
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 @dataclass

@@ -1,0 +1,61 @@
+"""Continuous-operation key management (the network run as a *system*).
+
+The paper's contribution is a continuously operating QKD network — keys
+relayed across a mesh, delivered to IKE/IPsec consumers, replenished under
+contention and attack.  :mod:`repro.kms` is that operational layer:
+
+* :class:`~repro.kms.store.KeyStore` — per-peer-pair reservoirs with
+  reservation / consume / expire semantics over :mod:`repro.core.keypool`;
+* :class:`~repro.kms.scheduler.ReplenishmentScheduler` — depletion-driven
+  dispatch of distillation epochs across mesh links (worker-count
+  invariant, via the PR-3 :class:`~repro.runtime.farm.LinkFarm`);
+* :class:`~repro.kms.workload.TrafficWorkload` — Poisson / bursty IPsec
+  rekey demand on labeled RNG streams;
+* :class:`~repro.kms.service.KeyManagementService` — the long-lived runtime
+  under the :mod:`repro.sim` event clock, with failure/attack injection,
+  starvation accounting and sustained-throughput reporting.
+
+Entry point: ``QKDSystem(...).mesh(...).serve(hours=...)`` on the
+:mod:`repro.api` facade, or build a :class:`KeyManagementService` directly.
+"""
+
+from repro.kms.scheduler import (
+    EpochReport,
+    ReplenishmentConfig,
+    ReplenishmentScheduler,
+)
+from repro.kms.service import (
+    KeyManagementService,
+    KmsConfig,
+    KmsMetrics,
+    SoakReport,
+    percentile,
+)
+from repro.kms.store import (
+    KeyReservation,
+    KeyStore,
+    KeyStoreExhaustedError,
+    ReservationError,
+    StorePool,
+    StoreStatistics,
+)
+from repro.kms.workload import TrafficWorkload, WorkloadProfile
+
+__all__ = [
+    "EpochReport",
+    "KeyManagementService",
+    "KeyReservation",
+    "KeyStore",
+    "KeyStoreExhaustedError",
+    "KmsConfig",
+    "KmsMetrics",
+    "percentile",
+    "ReplenishmentConfig",
+    "ReplenishmentScheduler",
+    "ReservationError",
+    "SoakReport",
+    "StorePool",
+    "StoreStatistics",
+    "TrafficWorkload",
+    "WorkloadProfile",
+]

@@ -1,0 +1,317 @@
+"""Replenishment scheduling: which links distill next, and with what budget.
+
+The network side of the paper's race: each mesh link continuously distills
+*pairwise* key that the relay layer then spends transporting end-to-end keys
+into the per-peer-pair stores.  The scheduler watches two levels —
+
+* every link's pairwise pad (the transport currency), and
+* every store's end-to-end reservoir (the consumer-facing level),
+
+and each epoch dispatches distillation across the needy links, prioritised
+by how fast their customers are draining them.
+
+Determinism contract (the property the soak test pins): one epoch's output
+is **bit-identical for any worker count**.  Every link's epoch is seeded by
+a labeled fork — ``kms/epoch/<epoch-index>/<node-a>--<node-b>`` — so a
+worker computes a pure function of ``(link parameters, label, budget)``;
+jobs are built in sorted-link order and results are committed in that same
+order, so neither the pool's scheduling nor the worker count can reorder or
+perturb anything.  (This is the same contract the PR-3 parallel runtime
+established; the scheduler simply rides it.)
+
+Two fidelity modes:
+
+``"analytic"`` (default)
+    Each dispatched link banks ``secret-key-rate x epoch-seconds`` bits of
+    pad material drawn from its labeled stream — the steady-state behaviour
+    of the link's protocol engine without Monte-Carlo cost, matching
+    :meth:`repro.network.relay.TrustedRelayNetwork.run_links_for`.  Attacks
+    are applied through the analytic QBER model: an attack pushing the
+    expected QBER over the detection threshold yields nothing and flags the
+    link as eavesdropped; a quieter attack degrades the secret fraction.
+
+``"montecarlo"``
+    Each dispatched link runs a real :class:`~repro.link.qkd_link.QKDLink`
+    epoch (``slots_per_epoch`` trigger slots) through the PR-3
+    :class:`~repro.runtime.farm.LinkFarm`, attacks interposed on the
+    photonic path, and banks whatever the protocol stack actually distills.
+    Detection comes from the engine's own measured QBER / aborted blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.link.qkd_link import LinkParameters, QKDLink
+from repro.mathkit.entropy import binary_entropy
+from repro.network.relay import TrustedRelayNetwork, pad_material_from_seed
+from repro.network.topology import QKDLinkEdge
+from repro.runtime.farm import LinkFarm, LinkJob
+from repro.runtime.pool import parallel_map
+from repro.util.rng import DeterministicRNG
+from repro.util.units import multi_photon_probability, non_empty_pulse_probability
+
+#: Fidelity modes the scheduler can dispatch epochs in.
+MODES = ("analytic", "montecarlo")
+
+
+@dataclass
+class ReplenishmentConfig:
+    """Tuning of the replenishment loop."""
+
+    #: Simulated seconds between scheduler ticks (one tick = one epoch).
+    epoch_seconds: float = 60.0
+    #: Fidelity mode, one of :data:`MODES`.
+    mode: str = "analytic"
+    #: Monte-Carlo budget per dispatched link per epoch.
+    slots_per_epoch: int = 250_000
+    #: Worker pool for the dispatch fan-out (None = one per CPU).
+    workers: Optional[int] = None
+    #: Pool backend; analytic material is cheap enough for threads, real
+    #: Monte-Carlo epochs want processes.
+    backend: str = "thread"
+    #: Pairwise pads below this are always dispatched this epoch.
+    pad_low_water_bits: int = 4_096
+    #: Dispatch tops pads up toward this level (analytic mode caps the
+    #: banked material so pads do not grow without bound).
+    pad_target_bits: int = 65_536
+    #: Cap on links dispatched per epoch (None = every needy link); the
+    #: neediest links win, so a tight cap models a shared distillation
+    #: budget under contention.
+    max_links_per_epoch: Optional[int] = None
+    #: Mean measured/expected QBER above which a link is declared
+    #: eavesdropped and handed to the routing layer to avoid.
+    detection_qber: float = 0.12
+    #: Minimum sifted-bit sample a Monte-Carlo epoch must carry before its
+    #: measured QBER may trigger detection.  Tiny epochs (tens of sifted
+    #: bits) have enough sampling noise that a clean link would eventually
+    #: cross the threshold by chance and be quarantined forever; an attack
+    #: strong enough to matter pushes the QBER far above threshold on any
+    #: reasonable sample.
+    detection_min_sifted_bits: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.epoch_seconds <= 0:
+            raise ValueError("epoch duration must be positive")
+        if self.slots_per_epoch <= 0:
+            raise ValueError("slot budget must be positive")
+
+
+@dataclass
+class EpochReport:
+    """What one replenishment epoch did."""
+
+    epoch_index: int
+    dispatched: List[Tuple[str, str]] = field(default_factory=list)
+    skipped_unusable: List[Tuple[str, str]] = field(default_factory=list)
+    #: Pad bits banked per dispatched link.
+    banked_bits: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Links whose epoch crossed the detection threshold this time.
+    newly_eavesdropped: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def total_banked_bits(self) -> int:
+        return sum(self.banked_bits.values())
+
+
+class ReplenishmentScheduler:
+    """Decides, each epoch, which links distill and banks what they produce."""
+
+    def __init__(
+        self,
+        relays: TrustedRelayNetwork,
+        rng: DeterministicRNG,
+        config: Optional[ReplenishmentConfig] = None,
+    ):
+        self.relays = relays
+        self.config = config or ReplenishmentConfig()
+        #: Labeled epoch seeds derive from this seed only.
+        self._seed_rng = rng
+        self.epoch_index = 0
+        self.reports: List[EpochReport] = []
+        #: Attacks currently interposed per link (sorted node pair -> attack).
+        self.attacks: Dict[Tuple[str, str], object] = {}
+        #: Per-link demand pressure hints fed back by the service: links on
+        #: the path of a starving store get their priority boosted.
+        self.pressure: Dict[Tuple[str, str], float] = {}
+        self._farm = LinkFarm(workers=self.config.workers, backend=self.config.backend)
+        self._link_cache: Dict[float, QKDLink] = {}
+
+    # ------------------------------------------------------------------ #
+    # Attack / pressure feedback
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _key(node_a: str, node_b: str) -> Tuple[str, str]:
+        return tuple(sorted((node_a, node_b)))
+
+    def attach_attack(self, node_a: str, node_b: str, attack: object) -> None:
+        """Interpose an eavesdropper on a link's photonic path.
+
+        The link must exist: a typo'd node name would otherwise sit in the
+        attack map forever, never matching any dispatched epoch, and the
+        "attack" would silently not happen.
+        """
+        self.relays.network.link(node_a, node_b)  # KeyError on unknown link
+        self.attacks[self._key(node_a, node_b)] = attack
+
+    def detach_attack(self, node_a: str, node_b: str) -> None:
+        self.attacks.pop(self._key(node_a, node_b), None)
+
+    def note_pressure(self, node_a: str, node_b: str, amount: float = 1.0) -> None:
+        """Record that a starving consumer depends on this link."""
+        key = self._key(node_a, node_b)
+        self.pressure[key] = self.pressure.get(key, 0.0) + amount
+
+    # ------------------------------------------------------------------ #
+    # Epoch dispatch
+    # ------------------------------------------------------------------ #
+
+    def _reference_link(self, length_km: float) -> QKDLink:
+        """A cached analytic-model link for a given fiber length."""
+        link = self._link_cache.get(length_km)
+        if link is None:
+            link = QKDLink(LinkParameters.for_distance(length_km), DeterministicRNG(0))
+            self._link_cache[length_km] = link
+        return link
+
+    def _pad_bits(self, edge: QKDLinkEdge) -> int:
+        return self.relays.pad_for(edge.node_a, edge.node_b).available_bytes * 8
+
+    def _priority(self, edge: QKDLinkEdge) -> float:
+        """Depletion-driven urgency of refilling one link's pairwise pad."""
+        target = max(self.config.pad_target_bits, 1)
+        deficit = max(target - self._pad_bits(edge), 0) / target
+        return deficit + self.pressure.get(self._key(edge.node_a, edge.node_b), 0.0)
+
+    def select_links(self) -> List[QKDLinkEdge]:
+        """The links to dispatch this epoch, neediest first.
+
+        Ordering is by ``(-priority, link name)`` — the name tiebreak keeps
+        the selection (and therefore the commit order) independent of dict
+        and graph iteration quirks.
+        """
+        candidates = [
+            edge
+            for edge in self.relays.network.links()
+            if edge.usable and self._pad_bits(edge) < self.config.pad_target_bits
+        ]
+        candidates.sort(key=lambda e: (-self._priority(e), self._key(e.node_a, e.node_b)))
+        needy = [e for e in candidates if self._pad_bits(e) < self.config.pad_low_water_bits]
+        rest = [e for e in candidates if e not in needy]
+        ordered = needy + rest
+        if self.config.max_links_per_epoch is not None:
+            ordered = ordered[: self.config.max_links_per_epoch]
+        return ordered
+
+    def run_epoch(self) -> EpochReport:
+        """Dispatch one distillation epoch and bank its output.
+
+        Jobs are built and committed in the sorted-link order produced by
+        :meth:`select_links`; the fan-out in between is the only parallel
+        part and is scheduling-invariant by construction.
+        """
+        report = EpochReport(epoch_index=self.epoch_index)
+        for edge in self.relays.network.links():
+            if not edge.usable:
+                report.skipped_unusable.append(self._key(edge.node_a, edge.node_b))
+        selected = self.select_links()
+        if self.config.mode == "montecarlo":
+            self._run_montecarlo(selected, report)
+        else:
+            self._run_analytic(selected, report)
+        self.pressure.clear()
+        self.epoch_index += 1
+        self.reports.append(report)
+        return report
+
+    # ---- Monte-Carlo mode -------------------------------------------- #
+
+    def _run_montecarlo(self, selected: List[QKDLinkEdge], report: EpochReport) -> None:
+        jobs: List[LinkJob] = []
+        for edge in selected:
+            key = self._key(edge.node_a, edge.node_b)
+            label = f"kms/epoch/{self.epoch_index}/{key[0]}--{key[1]}"
+            jobs.append(
+                LinkJob(
+                    name=label,
+                    parameters=LinkParameters.for_distance(edge.length_km),
+                    seed=self._seed_rng.fork_labeled(label).seed,
+                    n_slots=self.config.slots_per_epoch,
+                    attack=self.attacks.get(key),
+                )
+            )
+        runs = self._farm.run(jobs)
+        for edge, run in zip(selected, runs):
+            key = self._key(edge.node_a, edge.node_b)
+            report.dispatched.append(key)
+            detected = run.report.sifted_bits >= self.config.detection_min_sifted_bits and (
+                run.report.mean_qber > self.config.detection_qber
+                or (run.report.blocks_aborted > 0 and run.report.blocks_distilled == 0)
+            )
+            if detected:
+                self.relays.network.mark_eavesdropped(*key)
+                report.newly_eavesdropped.append(key)
+                report.banked_bits[key] = 0
+                continue
+            whole_bytes_bits = (run.alice_pool.available_bits // 8) * 8
+            material = run.alice_pool.draw_bits(whole_bytes_bits).to_bytes()
+            if material:
+                self.relays.pad_for(*key).add_key_material(material)
+            report.banked_bits[key] = len(material) * 8
+
+    # ---- Analytic mode ------------------------------------------------ #
+
+    def _analytic_yield_bits(self, edge: QKDLinkEdge, attack: object) -> Tuple[int, bool]:
+        """(bits banked this epoch, eavesdropping detected) for one link."""
+        link = self._reference_link(edge.length_km)
+        intrinsic = link.expected_qber()
+        induced = intrinsic
+        if attack is not None:
+            fraction = float(getattr(attack, "intercept_fraction", 1.0))
+            induced = min(intrinsic + 0.25 * fraction, 0.5)
+        if induced > self.config.detection_qber:
+            return 0, attack is not None
+        if attack is None:
+            rate = edge.secret_key_rate_bps
+        else:
+            # Same formula as the link's analytic model, evaluated at the
+            # attack-elevated QBER: the engine still distills, but Cascade
+            # and the defense function eat more of every sifted bit.
+            mu = link.parameters.channel.effective_mean_photon_number
+            multi = multi_photon_probability(mu) / max(non_empty_pulse_probability(mu), 1e-12)
+            bennett = min(2.0 * math.sqrt(2.0) * induced, 1.0)
+            fraction = max(1.0 - 1.35 * binary_entropy(induced) - bennett - multi, 0.0)
+            rate = link.sifted_rate_bps() * fraction
+        room = max(self.config.pad_target_bits - self._pad_bits(edge), 0)
+        return min(int(rate * self.config.epoch_seconds), room), False
+
+    def _run_analytic(self, selected: List[QKDLinkEdge], report: EpochReport) -> None:
+        jobs: List[Tuple[int, int]] = []
+        yields: List[Tuple[Tuple[str, str], int, bool]] = []
+        for edge in selected:
+            key = self._key(edge.node_a, edge.node_b)
+            bits, detected = self._analytic_yield_bits(edge, self.attacks.get(key))
+            label = f"kms/epoch/{self.epoch_index}/{key[0]}--{key[1]}"
+            yields.append((key, bits, detected))
+            jobs.append((self._seed_rng.fork_labeled(label).seed, bits // 8))
+        materials = parallel_map(
+            pad_material_from_seed,
+            jobs,
+            workers=self.config.workers,
+            backend=self.config.backend,
+        )
+        for (key, _bits, detected), material in zip(yields, materials):
+            report.dispatched.append(key)
+            if detected:
+                self.relays.network.mark_eavesdropped(*key)
+                report.newly_eavesdropped.append(key)
+                report.banked_bits[key] = 0
+                continue
+            if material:
+                self.relays.pad_for(*key).add_key_material(material)
+            report.banked_bits[key] = len(material) * 8

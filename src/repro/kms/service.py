@@ -1,0 +1,532 @@
+"""The continuous-operation key-management runtime.
+
+This is the subsystem the paper's network needs once it stops being a
+benchmark and starts being *operated*: a relay mesh runs as a long-lived
+system under the simulated event clock, links distill pairwise key epoch by
+epoch, the relay layer spends that key transporting end-to-end keys into
+per-peer-pair stores, and a fleet of IPsec gateway pairs drains the stores
+through IKE rekey negotiations driven by a traffic workload — all while
+links get cut, eavesdropped and DoS'd mid-run.
+
+:class:`KeyManagementService` wires the pieces together:
+
+* a :class:`~repro.network.relay.TrustedRelayNetwork` (mesh topology,
+  pairwise pads, routed key transport with reroute);
+* one :class:`~repro.kms.store.KeyStore` and one
+  :class:`~repro.ipsec.gateway.GatewayPair` per consumer pair, the
+  gateways' IKE daemons drawing straight from the store's synchronised
+  pools;
+* a :class:`~repro.kms.scheduler.ReplenishmentScheduler` dispatching
+  distillation epochs (priority by depletion, output invariant to worker
+  count);
+* a :class:`~repro.kms.workload.TrafficWorkload` generating rekey demand;
+* an :class:`~repro.sim.clock.EventScheduler` sequencing everything in
+  simulated time.
+
+Failure handling is the point, not an afterthought: a store that cannot
+cover a rekey queues the demand as a *waiter* with a timeout (the paper's
+Phase-2 "not enough QKD bits before timeout" failure), feeds pressure back
+into the replenishment priorities, and is drained FIFO as soon as delivery
+catches up; a cut or eavesdropped link triggers reroute inside the relay
+layer and starvation accounting here — never a crash and never a deadlock.
+
+The soak acceptance property: the sha256 digest of all delivered end-to-end
+key material is **bit-identical for any worker count**, because every
+parallel fan-out works on labeled-fork streams and commits in a fixed
+order, while everything sequential is driven by the event clock's total
+order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ipsec.gateway import GatewayPair
+from repro.ipsec.ike import QBLOCK_BITS, NegotiationError
+from repro.ipsec.spd import CipherSuite, SecurityPolicy
+from repro.kms.scheduler import ReplenishmentConfig, ReplenishmentScheduler
+from repro.kms.store import KeyStore, KeyStoreExhaustedError
+from repro.kms.workload import TrafficWorkload, WorkloadProfile
+from repro.network.relay import TrustedRelayNetwork
+from repro.network.routing import RoutingError
+from repro.sim.clock import EventScheduler, ScheduledEvent, SimClock
+from repro.util.rng import DeterministicRNG
+
+Pair = Tuple[str, str]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The nearest-rank ``q``-th percentile of ``values`` (0 for empty)."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(int(math.ceil(q / 100.0 * len(ordered))), 1)
+    return ordered[rank - 1]
+
+
+@dataclass
+class KmsConfig:
+    """Every operating knob of the key-management runtime."""
+
+    #: Consumer pairs; ``None`` means every unordered pair of mesh endpoints.
+    gateway_pairs: Optional[Tuple[Pair, ...]] = None
+    #: QKD bits each rekey negotiation asks for (rounded up to Qblocks).
+    qkd_bits_per_rekey: int = 1024
+    cipher_suite: CipherSuite = CipherSuite.AES_QKD_RESEED
+    #: How long a starving rekey may wait for key before it times out
+    #: (the paper's Phase-2 timeout concern).
+    rekey_timeout_seconds: float = 30.0
+    #: End-to-end key bits moved per mesh transport into a store.
+    transport_key_bits: int = 2_048
+    store_capacity_bits: int = 1 << 20
+    store_low_water_bits: int = 8_192
+    store_high_water_bits: int = 32_768
+    #: Age limit for stored key (None disables expiry).
+    max_key_age_seconds: Optional[float] = None
+    replenishment: ReplenishmentConfig = field(default_factory=ReplenishmentConfig)
+
+    def __post_init__(self) -> None:
+        if self.qkd_bits_per_rekey <= 0:
+            raise ValueError("rekey bits must be positive")
+        if self.transport_key_bits <= 0 or self.transport_key_bits % 8:
+            raise ValueError("transport key bits must be a positive multiple of 8")
+        if self.rekey_timeout_seconds <= 0:
+            raise ValueError("rekey timeout must be positive")
+
+    @property
+    def rekey_draw_bits(self) -> int:
+        """Bits one Phase-2 negotiation actually draws from each pool."""
+        qblocks = max((self.qkd_bits_per_rekey + QBLOCK_BITS - 1) // QBLOCK_BITS, 1)
+        needed = qblocks * QBLOCK_BITS
+        if self.cipher_suite is CipherSuite.ONE_TIME_PAD:
+            needed = max(needed, self.qkd_bits_per_rekey)
+        return needed
+
+
+@dataclass
+class RekeyWaiter:
+    """A rekey demand parked until its store can cover it (or it times out)."""
+
+    pair: Pair
+    demanded_at: float
+    needed_bits: int
+    resolved: bool = False
+    timeout_event: Optional[ScheduledEvent] = None
+
+
+@dataclass
+class KmsMetrics:
+    """Counters accumulated over a service run."""
+
+    demands: int = 0
+    rekeys_completed: int = 0
+    rekeys_timed_out: int = 0
+    rekeys_failed: int = 0
+    starvation_events: int = 0
+    delivered_keys: int = 0
+    delivered_key_bits: int = 0
+    reroutes: int = 0
+    transports_failed: int = 0
+    epochs_run: int = 0
+    pad_bits_banked: int = 0
+    phase1_reestablishments: int = 0
+    latencies_seconds: List[float] = field(default_factory=list)
+
+
+@dataclass
+class SoakReport:
+    """What a :meth:`KeyManagementService.serve` run sustained."""
+
+    simulated_seconds: float
+    demands: int
+    rekeys_completed: int
+    rekeys_timed_out: int
+    rekeys_failed: int
+    pending_waiters: int
+    starvation_events: int
+    delivered_keys: int
+    delivered_key_bits: int
+    keys_per_second: float
+    key_bits_per_second: float
+    rekey_latency_p50_seconds: float
+    rekey_latency_p99_seconds: float
+    rekey_latency_mean_seconds: float
+    reroutes: int
+    transports_failed: int
+    epochs_run: int
+    pad_bits_banked: int
+    eavesdropped_links: Tuple[Pair, ...]
+    #: sha256 over all delivered end-to-end key material, in delivery order
+    #: — the soak determinism pin.
+    delivered_digest: str
+    per_pair: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def completion_accounted(self) -> bool:
+        """Every demand reached a terminal or pending state (no deadlock)."""
+        return self.demands == (
+            self.rekeys_completed
+            + self.rekeys_timed_out
+            + self.rekeys_failed
+            + self.pending_waiters
+        )
+
+
+class KeyManagementService:
+    """Runs a relay mesh as a long-lived key-delivery system."""
+
+    POLICY_NAME = "kms"
+
+    def __init__(
+        self,
+        relays: TrustedRelayNetwork,
+        config: Optional[KmsConfig] = None,
+        workload: Optional[TrafficWorkload] = None,
+        rng: Optional[DeterministicRNG] = None,
+    ):
+        self.relays = relays
+        self.config = config or KmsConfig()
+        self.rng = rng or DeterministicRNG(0)
+        self.clock = SimClock()
+        self.events = EventScheduler(self.clock)
+        self.workload = workload or TrafficWorkload(
+            WorkloadProfile.poisson(), self.rng.fork_labeled("workload-root")
+        )
+        self.replenisher = ReplenishmentScheduler(
+            relays, self.rng.fork_labeled("replenisher"), self.config.replenishment
+        )
+        self.metrics = KmsMetrics()
+        self._digest = hashlib.sha256()
+        self._served = False
+        #: Last successful transport path per pair, for reroute detection.
+        self._last_path: Dict[Pair, List[str]] = {}
+
+        self.pairs: List[Pair] = sorted(
+            tuple(p) for p in (self.config.gateway_pairs or self._default_pairs())
+        )
+        if not self.pairs:
+            raise ValueError("the service needs at least one gateway pair")
+        self.stores: Dict[Pair, KeyStore] = {}
+        self.gateways: Dict[Pair, GatewayPair] = {}
+        self._waiters: Dict[Pair, List[RekeyWaiter]] = {pair: [] for pair in self.pairs}
+        for index, pair in enumerate(self.pairs):
+            self._build_pair(index, pair)
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+
+    def _default_pairs(self) -> List[Pair]:
+        endpoints = sorted(self.relays.network.endpoints())
+        return [(a, b) for i, a in enumerate(endpoints) for b in endpoints[i + 1 :]]
+
+    def _build_pair(self, index: int, pair: Pair) -> None:
+        for name in pair:
+            if name not in self.relays.network.graph:
+                raise KeyError(f"unknown mesh node {name!r} in gateway pair {pair}")
+        config = self.config
+        store = KeyStore(
+            pair,
+            capacity_bits=config.store_capacity_bits,
+            low_water_bits=config.store_low_water_bits,
+            high_water_bits=config.store_high_water_bits,
+            max_key_age_seconds=config.max_key_age_seconds,
+        )
+        gateways = GatewayPair(
+            store.local_pool,
+            store.remote_pool,
+            clock=self.clock,
+            rng=self.rng.fork_labeled(f"gateway/{pair[0]}--{pair[1]}"),
+            alice_name=f"{pair[0]}-gw",
+            bob_name=f"{pair[1]}-gw",
+            alice_address=f"10.{index}.0.1",
+            bob_address=f"10.{index}.0.2",
+        )
+        gateways.add_symmetric_policy(
+            SecurityPolicy(
+                name=self.POLICY_NAME,
+                source_network=f"10.{index}.1.0/24",
+                destination_network=f"10.{index}.2.0/24",
+                cipher_suite=config.cipher_suite,
+                lifetime_seconds=3600.0,
+                qkd_bits_per_rekey=config.qkd_bits_per_rekey,
+            )
+        )
+        gateways.establish()
+        self.stores[pair] = store
+        self.gateways[pair] = gateways
+
+    # ------------------------------------------------------------------ #
+    # Failure / attack injection (arm before serve())
+    # ------------------------------------------------------------------ #
+
+    def _require_link(self, node_a: str, node_b: str) -> None:
+        """Fail at arm time, not mid-run, when a link name is wrong."""
+        try:
+            self.relays.network.link(node_a, node_b)
+        except KeyError:
+            raise KeyError(f"no mesh link {node_a!r}--{node_b!r} to schedule against") from None
+
+    def schedule_link_cut(self, time: float, node_a: str, node_b: str) -> None:
+        """A fiber cut (or DoS takedown) of one mesh link at ``time``."""
+        self._require_link(node_a, node_b)
+        self.events.schedule_at(
+            time,
+            lambda: self.relays.network.cut_link(node_a, node_b),
+            label=f"cut/{node_a}--{node_b}",
+        )
+
+    def schedule_link_restore(self, time: float, node_a: str, node_b: str) -> None:
+        self._require_link(node_a, node_b)
+        self.events.schedule_at(
+            time,
+            lambda: self.relays.network.restore_link(node_a, node_b),
+            label=f"restore/{node_a}--{node_b}",
+        )
+
+    def schedule_attack(self, time: float, node_a: str, node_b: str, attack: object) -> None:
+        """Interpose an eavesdropper on a link's photonic path at ``time``.
+
+        Detection happens inside the next replenishment epoch that touches
+        the link (measured QBER in Monte-Carlo mode, the analytic QBER model
+        otherwise); a detected link is marked for the routing layer to avoid
+        and stops yielding pad until the attack ends and it is restored.
+        """
+        self._require_link(node_a, node_b)
+        self.events.schedule_at(
+            time,
+            lambda: self.replenisher.attach_attack(node_a, node_b, attack),
+            label=f"attack/{node_a}--{node_b}",
+        )
+
+    def schedule_attack_end(self, time: float, node_a: str, node_b: str) -> None:
+        self._require_link(node_a, node_b)
+        self.events.schedule_at(
+            time,
+            lambda: self.replenisher.detach_attack(node_a, node_b),
+            label=f"attack-end/{node_a}--{node_b}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # The serve loop
+    # ------------------------------------------------------------------ #
+
+    def serve(self, hours: float) -> SoakReport:
+        """Operate the network for ``hours`` of simulated time.
+
+        Single-shot: the report (and its pinned digest) describes one
+        complete run from a freshly built service.
+        """
+        if self._served:
+            raise RuntimeError("serve() may run once; build a fresh service")
+        if hours <= 0:
+            raise ValueError("serve duration must be positive")
+        self._served = True
+        horizon = hours * 3600.0
+
+        for time, pair in self.workload.schedule(self.pairs, horizon):
+            self.events.schedule_at(
+                time,
+                lambda pair=pair, time=time: self._on_demand(pair, time),
+                label=f"rekey/{pair[0]}--{pair[1]}",
+            )
+        self.events.schedule_at(0.0, self._on_epoch, label="epoch")
+        self.events.run_until(horizon)
+        return self._build_report(horizon)
+
+    # ---- demand side --------------------------------------------------- #
+
+    def _on_demand(self, pair: Pair, demanded_at: float) -> None:
+        self.metrics.demands += 1
+        store = self.stores[pair]
+        needed = self.config.rekey_draw_bits
+        try:
+            reservation = store.reserve(needed, now=self.clock.now())
+        except KeyStoreExhaustedError:
+            self._enqueue_waiter(pair, demanded_at, needed)
+            return
+        self._complete_rekey(pair, reservation, demanded_at)
+
+    def _enqueue_waiter(self, pair: Pair, demanded_at: float, needed: int) -> None:
+        self.metrics.starvation_events += 1
+        waiter = RekeyWaiter(pair=pair, demanded_at=demanded_at, needed_bits=needed)
+        waiter.timeout_event = self.events.schedule_after(
+            self.config.rekey_timeout_seconds,
+            lambda: self._on_waiter_timeout(waiter),
+            label=f"rekey-timeout/{pair[0]}--{pair[1]}",
+        )
+        self._waiters[pair].append(waiter)
+        self._note_path_pressure(pair)
+
+    def _on_waiter_timeout(self, waiter: RekeyWaiter) -> None:
+        if waiter.resolved:
+            return
+        waiter.resolved = True
+        self._waiters[waiter.pair].remove(waiter)
+        self.metrics.rekeys_timed_out += 1
+        self.gateways[waiter.pair].alice.statistics.negotiation_failures += 1
+
+    def _drain_waiters(self, pair: Pair) -> None:
+        """Serve parked demands FIFO while the store can cover them."""
+        store = self.stores[pair]
+        queue = self._waiters[pair]
+        while queue:
+            waiter = queue[0]
+            try:
+                reservation = store.reserve(waiter.needed_bits, now=self.clock.now())
+            except KeyStoreExhaustedError:
+                break
+            queue.pop(0)
+            waiter.resolved = True
+            if waiter.timeout_event is not None:
+                waiter.timeout_event.cancel()
+            self._complete_rekey(pair, reservation, waiter.demanded_at)
+
+    def _complete_rekey(self, pair: Pair, reservation, demanded_at: float) -> None:
+        now = self.clock.now()
+        gateways = self.gateways[pair]
+        phase1 = gateways.alice.ike.phase1
+        if phase1 is None or phase1.expired(now):
+            gateways.establish()
+            self.metrics.phase1_reestablishments += 1
+        store = self.stores[pair]
+        try:
+            with store.consuming(reservation, now=now):
+                gateways.alice.rekey_now(self.POLICY_NAME)
+        except NegotiationError:
+            self.metrics.rekeys_failed += 1
+            return
+        self.metrics.rekeys_completed += 1
+        self.metrics.latencies_seconds.append(now - demanded_at)
+
+    # ---- supply side --------------------------------------------------- #
+
+    def _on_epoch(self) -> None:
+        report = self.replenisher.run_epoch()
+        self.metrics.epochs_run += 1
+        self.metrics.pad_bits_banked += report.total_banked_bits
+        self._deliver()
+        self.events.schedule_after(
+            self.config.replenishment.epoch_seconds, self._on_epoch, label="epoch"
+        )
+
+    def _deliver(self) -> None:
+        """Transport end-to-end keys into every store below its high water.
+
+        Stores are visited in ``(-priority, pair)`` order, so contention for
+        the shared pairwise pads resolves toward the store being drained
+        hardest — and the visit order (hence the delivered-material digest)
+        is independent of dict iteration and worker count.
+        """
+        now = self.clock.now()
+        ordered = sorted(
+            self.stores.items(), key=lambda item: (-item[1].refill_priority(), item[0])
+        )
+        for pair, store in ordered:
+            store.expire(now)
+            starved_here = False
+            while store.available_bits < store.high_water_bits:
+                result = self.relays.transport_with_reroute(
+                    pair[0], pair[1], key_bits=self.config.transport_key_bits
+                )
+                if not result.success:
+                    starved_here = True
+                    self.metrics.transports_failed += 1
+                    for hop_a, hop_b in zip(result.path, result.path[1:]):
+                        self.replenisher.note_pressure(hop_a, hop_b)
+                    break
+                # A reroute is either an explicit mid-transport fallback or
+                # a silent path change forced by a link the routing layer
+                # now avoids (cut, eavesdropped, exhausted).
+                previous_path = self._last_path.get(pair)
+                if result.rerouted or previous_path not in (None, result.path):
+                    self.metrics.reroutes += 1
+                self._last_path[pair] = result.path
+                banked = store.deposit(result.key, now=now)
+                self.metrics.delivered_keys += 1
+                self.metrics.delivered_key_bits += len(result.key)
+                self._digest.update(f"{pair[0]}--{pair[1]}|{len(result.key)}|".encode())
+                self._digest.update(result.key.to_bytes())
+                if banked == 0:
+                    break
+            if starved_here and store.below_low_water:
+                store.statistics.starved_epochs += 1
+                self._note_path_pressure(pair)
+            self._drain_waiters(pair)
+
+    def _note_path_pressure(self, pair: Pair) -> None:
+        try:
+            path = self.relays.selector.find_path(pair[0], pair[1])
+        except RoutingError:
+            return
+        for hop_a, hop_b in zip(path, path[1:]):
+            self.replenisher.note_pressure(hop_a, hop_b)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending_waiters(self) -> int:
+        return sum(len(queue) for queue in self._waiters.values())
+
+    def delivered_digest(self) -> str:
+        """The running sha256 over all delivered end-to-end key material."""
+        return self._digest.hexdigest()
+
+    def _build_report(self, horizon: float) -> SoakReport:
+        metrics = self.metrics
+        latencies = metrics.latencies_seconds
+        eavesdropped = tuple(
+            sorted(
+                (edge.node_a, edge.node_b)
+                for edge in self.relays.network.links()
+                if edge.eavesdropping_detected
+            )
+        )
+        per_pair: Dict[str, Dict[str, float]] = {}
+        for pair, store in self.stores.items():
+            stats = store.statistics
+            per_pair[f"{pair[0]}--{pair[1]}"] = {
+                "available_bits": float(store.available_bits),
+                "bits_deposited": float(stats.bits_deposited),
+                "bits_consumed": float(stats.bits_consumed),
+                "bits_expired": float(stats.bits_expired),
+                "reservations_denied": float(stats.reservations_denied),
+                "starved_epochs": float(stats.starved_epochs),
+                "rekeys": float(self.gateways[pair].alice.statistics.negotiations),
+            }
+        return SoakReport(
+            simulated_seconds=horizon,
+            demands=metrics.demands,
+            rekeys_completed=metrics.rekeys_completed,
+            rekeys_timed_out=metrics.rekeys_timed_out,
+            rekeys_failed=metrics.rekeys_failed,
+            pending_waiters=self.pending_waiters,
+            starvation_events=metrics.starvation_events,
+            delivered_keys=metrics.delivered_keys,
+            delivered_key_bits=metrics.delivered_key_bits,
+            keys_per_second=metrics.delivered_keys / horizon,
+            key_bits_per_second=metrics.delivered_key_bits / horizon,
+            rekey_latency_p50_seconds=percentile(latencies, 50),
+            rekey_latency_p99_seconds=percentile(latencies, 99),
+            rekey_latency_mean_seconds=sum(latencies) / max(len(latencies), 1),
+            reroutes=metrics.reroutes,
+            transports_failed=metrics.transports_failed,
+            epochs_run=metrics.epochs_run,
+            pad_bits_banked=metrics.pad_bits_banked,
+            eavesdropped_links=eavesdropped,
+            delivered_digest=self.delivered_digest(),
+            per_pair=per_pair,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyManagementService({len(self.pairs)} pairs, "
+            f"{self.relays.network!r}, epochs={self.metrics.epochs_run})"
+        )

@@ -1,0 +1,339 @@
+"""Per-peer-pair key stores with reservation / consume / expire semantics.
+
+The paper's continuously operating network treats distilled key as a metered
+resource: every consumer (an IKE daemon rekeying its SAs, a one-time-pad
+encryptor) draws against a *store* of end-to-end key shared with exactly one
+peer, and the rate at which the network can refill that store against the
+rate at which consumers drain it is the system's defining race.
+
+A :class:`KeyStore` layers three things over a pair of synchronised
+:class:`~repro.core.keypool.KeyPool` reservoirs (one per endpoint of the
+peer pair, holding identical material exactly as a real QKD link delivers
+it to both ends):
+
+* **Reservations** — a consumer first reserves the bits a rekey will need,
+  then performs the draw inside :meth:`KeyStore.consuming`.  Bits under an
+  active reservation are invisible to other consumers, and the store's
+  pools refuse any draw that would invade someone else's reservation, so a
+  negotiation that has been promised key can never lose it to a concurrent
+  consumer between reserve and consume.
+* **Expiry** — key older than ``max_key_age_seconds`` is dropped from both
+  pools in lock-step (block-granular, head-first), modelling a bounded
+  compromise window for material sitting in relay-adjacent storage.
+* **Depletion accounting** — an exponentially weighted draw-rate estimate
+  and a low-water mark, which is what the replenishment scheduler uses to
+  prioritise which stores get the next distillation epoch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from contextlib import contextmanager
+
+from repro.core.keypool import KeyBlock, KeyPool, KeyPoolExhaustedError
+from repro.util.bits import BitString
+
+
+class ReservationError(Exception):
+    """Raised when a reservation cannot be created or used."""
+
+
+class KeyStoreExhaustedError(ReservationError):
+    """Raised when a store cannot cover a reservation request."""
+
+
+@dataclass
+class KeyReservation:
+    """A claim on ``bits`` bits of a store, held until consumed or released."""
+
+    reservation_id: int
+    pair: Tuple[str, str]
+    bits: int
+    created_at: float
+    #: ``"held"`` -> ``"consumed"`` | ``"released"``.
+    state: str = "held"
+
+    @property
+    def active(self) -> bool:
+        return self.state == "held"
+
+
+class StorePool(KeyPool):
+    """A :class:`KeyPool` that honours its owning store's reservations.
+
+    Draws are refused (with :class:`KeyPoolExhaustedError`, the error every
+    existing consumer already handles) whenever they would dip into bits
+    reserved by a consumer other than the one currently inside
+    :meth:`KeyStore.consuming`.
+    """
+
+    def __init__(self, name: str, store: "KeyStore"):
+        super().__init__(name=name)
+        self._store = store
+
+    def draw_bits(self, count: int) -> BitString:
+        self._store._authorise_draw(self, count)
+        drawn = super().draw_bits(count)
+        self._store._record_draw(self, count)
+        return drawn
+
+
+@dataclass
+class StoreStatistics:
+    """Lifetime accounting for one store."""
+
+    bits_deposited: int = 0
+    bits_consumed: int = 0
+    bits_expired: int = 0
+    deposits: int = 0
+    reservations_granted: int = 0
+    reservations_denied: int = 0
+    #: Epochs in which the scheduler wanted to refill this store but could
+    #: not deliver anything (exhausted pads, no usable path, ...).
+    starved_epochs: int = 0
+
+
+class KeyStore:
+    """The metered end-to-end key reservoir for one peer pair."""
+
+    def __init__(
+        self,
+        pair: Tuple[str, str],
+        capacity_bits: int = 1 << 20,
+        low_water_bits: int = 8_192,
+        high_water_bits: int = 32_768,
+        max_key_age_seconds: Optional[float] = None,
+        depletion_halflife_seconds: float = 600.0,
+    ):
+        if capacity_bits <= 0:
+            raise ValueError("store capacity must be positive")
+        if not 0 <= low_water_bits <= high_water_bits <= capacity_bits:
+            raise ValueError("water marks must satisfy 0 <= low <= high <= capacity")
+        self.pair = (str(pair[0]), str(pair[1]))
+        self.capacity_bits = capacity_bits
+        self.low_water_bits = low_water_bits
+        self.high_water_bits = high_water_bits
+        self.max_key_age_seconds = max_key_age_seconds
+        self.depletion_halflife_seconds = depletion_halflife_seconds
+        label = f"{self.pair[0]}--{self.pair[1]}"
+        #: The two endpoints' synchronised reservoirs; hand these to the two
+        #: gateways' IKE daemons and their paired draws stay in lock-step.
+        self.local_pool = StorePool(f"kms/{label}/local", self)
+        self.remote_pool = StorePool(f"kms/{label}/remote", self)
+        self.statistics = StoreStatistics()
+        self._reservations: Dict[int, KeyReservation] = {}
+        self._ids = itertools.count(1)
+        self._next_block_id = itertools.count(0)
+        #: Per-pool remaining grant while inside :meth:`consuming`.
+        self._grants: Dict[int, int] = {}
+        #: EWMA of the consumption rate, bits/second.
+        self._depletion_rate_bps = 0.0
+        self._last_consume_time: Optional[float] = None
+        self._bits_since_last = 0
+
+    # ------------------------------------------------------------------ #
+    # Levels
+    # ------------------------------------------------------------------ #
+
+    @property
+    def available_bits(self) -> int:
+        """Bits physically present (reserved or not)."""
+        return self.local_pool.available_bits
+
+    @property
+    def reserved_bits(self) -> int:
+        return sum(r.bits for r in self._reservations.values())
+
+    @property
+    def unreserved_bits(self) -> int:
+        """Bits a new reservation could claim right now."""
+        return self.available_bits - self.reserved_bits
+
+    @property
+    def below_low_water(self) -> bool:
+        return self.available_bits < self.low_water_bits
+
+    @property
+    def refill_deficit_bits(self) -> int:
+        """How far the store is below its high-water mark."""
+        return max(self.high_water_bits - self.available_bits, 0)
+
+    @property
+    def depletion_rate_bps(self) -> float:
+        """Smoothed consumption rate (bits/second of simulated time)."""
+        return self._depletion_rate_bps
+
+    def refill_priority(self) -> float:
+        """Scheduler ordering key: how urgently this store needs key.
+
+        Deficit fraction plus the time-pressure of the observed draw rate —
+        a store being drained quickly outranks an equally empty idle one.
+        """
+        deficit = self.refill_deficit_bits / max(self.high_water_bits, 1)
+        pressure = self._depletion_rate_bps / max(self.high_water_bits, 1)
+        return deficit + 60.0 * pressure
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+
+    def deposit(self, key: BitString, now: float = 0.0) -> int:
+        """Bank freshly delivered end-to-end key into both endpoints' pools.
+
+        Returns the number of bits actually banked: a deposit that would
+        overflow the store's capacity is truncated rather than refused, so
+        replenishment can always run the store up to exactly full.
+        """
+        room = self.capacity_bits - self.available_bits
+        if room <= 0:
+            return 0
+        banked = key if len(key) <= room else key[:room]
+        block_id = next(self._next_block_id)
+        self.local_pool.add_block(KeyBlock(banked.copy(), block_id, created_at=now))
+        self.remote_pool.add_block(KeyBlock(banked.copy(), block_id, created_at=now))
+        self.statistics.bits_deposited += len(banked)
+        self.statistics.deposits += 1
+        return len(banked)
+
+    def expire(self, now: float) -> int:
+        """Apply the age limit (if any); returns bits dropped from each pool.
+
+        Reserved bits are never expired out from under a held reservation:
+        expiry stops early (block-granular, oldest first) rather than break
+        the reservation contract.  Both pools hold identical blocks, so one
+        scan decides what both drop and they stay in lock-step.
+        """
+        if self.max_key_age_seconds is None:
+            return 0
+        cutoff = now - self.max_key_age_seconds
+        droppable = self.unreserved_bits
+        to_drop_blocks = 0
+        to_drop_bits = 0
+        offset = self.local_pool._head_offset
+        for block in self.local_pool.blocks:
+            block_bits = len(block) - offset
+            offset = 0
+            if block.created_at >= cutoff or to_drop_bits + block_bits > droppable:
+                break
+            to_drop_blocks += 1
+            to_drop_bits += block_bits
+        if not to_drop_blocks:
+            return 0
+        self.local_pool.drop_head_blocks(to_drop_blocks)
+        self.remote_pool.drop_head_blocks(to_drop_blocks)
+        self.statistics.bits_expired += to_drop_bits
+        return to_drop_bits
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+
+    def reserve(self, bits: int, now: float = 0.0) -> KeyReservation:
+        """Claim ``bits`` bits for one upcoming draw.
+
+        Raises :class:`KeyStoreExhaustedError` when the unreserved level
+        cannot cover the request — the caller's cue to queue as a waiter
+        and let the replenishment scheduler know the store is starving.
+        """
+        if bits <= 0:
+            raise ValueError("reservation size must be positive")
+        if bits > self.unreserved_bits:
+            self.statistics.reservations_denied += 1
+            raise KeyStoreExhaustedError(
+                f"store {self.pair[0]}--{self.pair[1]}: need {bits} bits, "
+                f"{self.unreserved_bits} unreserved of {self.available_bits} available"
+            )
+        reservation = KeyReservation(
+            reservation_id=next(self._ids),
+            pair=self.pair,
+            bits=bits,
+            created_at=now,
+        )
+        self._reservations[reservation.reservation_id] = reservation
+        self.statistics.reservations_granted += 1
+        return reservation
+
+    def release(self, reservation: KeyReservation) -> None:
+        """Give up a held reservation without consuming it."""
+        if not reservation.active:
+            raise ReservationError(
+                f"reservation {reservation.reservation_id} is {reservation.state}"
+            )
+        reservation.state = "released"
+        self._reservations.pop(reservation.reservation_id, None)
+
+    @contextmanager
+    def consuming(self, reservation: KeyReservation, now: float = 0.0) -> Iterator[None]:
+        """Context in which the reserved bits may be drawn from both pools.
+
+        Inside the block each pool will honour draws up to the reservation's
+        size (on top of whatever unreserved key exists); the usual pattern is
+        to run the IKE Phase-2 negotiation here, which draws the same amount
+        from both pools.  On exit the reservation is retired whether or not
+        the draw happened (a failed negotiation must re-reserve).
+        """
+        if not reservation.active:
+            raise ReservationError(
+                f"reservation {reservation.reservation_id} is {reservation.state}"
+            )
+        self._grants = {
+            id(self.local_pool): reservation.bits,
+            id(self.remote_pool): reservation.bits,
+        }
+        try:
+            yield
+        finally:
+            self._grants = {}
+            reservation.state = "consumed"
+            self._reservations.pop(reservation.reservation_id, None)
+            self._note_consumption(now)
+
+    # ------------------------------------------------------------------ #
+    # StorePool integration
+    # ------------------------------------------------------------------ #
+
+    def _authorise_draw(self, pool: StorePool, count: int) -> None:
+        grant = self._grants.get(id(pool), 0)
+        others_reserved = self.reserved_bits - min(grant, self.reserved_bits)
+        drawable = pool.available_bits - others_reserved
+        if count > drawable:
+            raise KeyPoolExhaustedError(
+                f"{pool.name}: draw of {count} bits would invade reserved key "
+                f"({pool.available_bits} available, {others_reserved} reserved "
+                f"by other consumers, grant {grant})"
+            )
+
+    def _record_draw(self, pool: StorePool, count: int) -> None:
+        grant = self._grants.get(id(pool))
+        if grant is not None:
+            self._grants[id(pool)] = max(grant - count, 0)
+        if pool is self.local_pool:
+            self.statistics.bits_consumed += count
+            self._bits_since_last += count
+
+    def _note_consumption(self, now: float) -> None:
+        """Fold the draws since the previous event into the rate EWMA."""
+        if self._last_consume_time is None:
+            self._last_consume_time = now
+            self._bits_since_last = 0
+            return
+        dt = now - self._last_consume_time
+        if dt <= 0:
+            return
+        self._last_consume_time = now
+        # One observation: the bits drawn since the last event, spread over
+        # the gap; the half-life becomes a per-gap smoothing factor.
+        alpha = min(dt / max(self.depletion_halflife_seconds, 1e-9), 1.0)
+        instantaneous = self._bits_since_last / dt
+        self._depletion_rate_bps += alpha * (instantaneous - self._depletion_rate_bps)
+        self._bits_since_last = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyStore({self.pair[0]}--{self.pair[1]}: "
+            f"{self.available_bits} bits, {self.reserved_bits} reserved, "
+            f"deficit={self.refill_deficit_bits})"
+        )

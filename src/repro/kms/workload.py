@@ -1,0 +1,134 @@
+"""Traffic-driven rekey demand for the key-management runtime.
+
+Consumers in the paper's network are IPsec gateway pairs whose IKE daemons
+rekey Security Associations from QKD bits.  The workload layer turns "many
+gateway pairs carrying user traffic" into a deterministic schedule of rekey
+demands: each pair's demand times come from its own labeled RNG stream
+(``workload/<pair>``), so adding, removing or reordering pairs never
+perturbs another pair's schedule, and the whole demand pattern is a pure
+function of ``(seed, profile, pair name)`` — worker counts and event
+interleaving cannot touch it.
+
+Two arrival profiles:
+
+``poisson``
+    Memoryless rekeys at a mean interval — steady aggregate load, the
+    baseline operating point.
+
+``bursty``
+    Rekey *storms*: bursts arrive as a Poisson process, and each burst
+    packs several back-to-back rekeys into a short window (a site-wide
+    policy push, or many tunnels expiring together after an outage).  This
+    is the contention profile that makes reservation semantics and
+    depletion-aware scheduling earn their keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Shape of one pair's rekey demand process."""
+
+    kind: str = "poisson"
+    #: Mean seconds between rekeys (poisson) or between bursts (bursty).
+    mean_interval_seconds: float = 120.0
+    #: Rekeys per burst (bursty only).
+    burst_size: int = 4
+    #: Window over which a burst's rekeys are spread (bursty only).
+    burst_spread_seconds: float = 5.0
+
+    KINDS = ("poisson", "bursty")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"profile kind must be one of {self.KINDS}")
+        if self.mean_interval_seconds <= 0:
+            raise ValueError("mean interval must be positive")
+        if self.burst_size < 1:
+            raise ValueError("burst size must be at least 1")
+        if self.burst_spread_seconds < 0:
+            raise ValueError("burst spread must be non-negative")
+
+    @classmethod
+    def poisson(cls, mean_interval_seconds: float = 120.0) -> "WorkloadProfile":
+        return cls(kind="poisson", mean_interval_seconds=mean_interval_seconds)
+
+    @classmethod
+    def bursty(
+        cls,
+        mean_interval_seconds: float = 300.0,
+        burst_size: int = 4,
+        burst_spread_seconds: float = 5.0,
+    ) -> "WorkloadProfile":
+        return cls(
+            kind="bursty",
+            mean_interval_seconds=mean_interval_seconds,
+            burst_size=burst_size,
+            burst_spread_seconds=burst_spread_seconds,
+        )
+
+
+class TrafficWorkload:
+    """Deterministic rekey-demand schedules for a fleet of gateway pairs."""
+
+    def __init__(self, profile: WorkloadProfile, rng: DeterministicRNG):
+        self.profile = profile
+        self._rng = rng
+
+    @staticmethod
+    def pair_label(pair: Tuple[str, str]) -> str:
+        return f"{pair[0]}--{pair[1]}"
+
+    def demand_times(self, pair: Tuple[str, str], horizon_seconds: float) -> List[float]:
+        """Every rekey demand time for one pair within ``[0, horizon)``.
+
+        The stream is ``rng.fork_labeled("workload/<a>--<b>")`` — depends on
+        the root seed, the profile parameters consumed in a fixed order, and
+        the pair name only.
+        """
+        if horizon_seconds < 0:
+            raise ValueError("horizon must be non-negative")
+        stream = self._rng.fork_labeled(f"workload/{self.pair_label(pair)}")
+        times: List[float] = []
+        now = 0.0
+        profile = self.profile
+        while True:
+            now += stream.exponential(profile.mean_interval_seconds)
+            if now >= horizon_seconds:
+                break
+            if profile.kind == "poisson":
+                times.append(now)
+                continue
+            # Bursty: the arrival is a storm of rekeys across the spread
+            # window.  Offsets are drawn unconditionally so the stream's
+            # draw pattern (and hence later arrivals) never depends on how
+            # close the burst sits to the horizon.
+            offsets = sorted(
+                stream.uniform(0.0, profile.burst_spread_seconds)
+                for _ in range(profile.burst_size)
+            )
+            times.extend(now + off for off in offsets if now + off < horizon_seconds)
+        # Bursts may overlap (the next storm can arrive inside the previous
+        # spread window), so impose time order once at the end.
+        times.sort()
+        return times
+
+    def schedule(
+        self, pairs: List[Tuple[str, str]], horizon_seconds: float
+    ) -> List[Tuple[float, Tuple[str, str]]]:
+        """The merged demand schedule for a fleet, ordered by time.
+
+        Ties are broken by pair name, so the event order handed to the
+        simulator is fully deterministic.
+        """
+        merged: List[Tuple[float, Tuple[str, str]]] = []
+        for pair in sorted(pairs):
+            merged.extend((t, pair) for t in self.demand_times(pair, horizon_seconds))
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return merged

@@ -21,7 +21,7 @@ Elements are represented as Python ints whose bit ``i`` is the coefficient of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.util.bits import BitString
 

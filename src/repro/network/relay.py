@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.crypto.otp import OneTimePad, PadExhaustedError
+from repro.crypto.otp import OneTimePad
 from repro.network.routing import PathSelector, RoutingError
 from repro.network.topology import NodeKind, QKDNetwork
 from repro.util.bits import BitString
@@ -42,9 +42,18 @@ class KeyTransportResult:
     failed_hop: Optional[Tuple[str, str]] = None
 
 
-def _pad_material(job: Tuple[int, int]) -> bytes:
-    """Pairwise pad material for one link, from its own labeled stream."""
+def pad_material_from_seed(job: Tuple[int, int]) -> bytes:
+    """Pairwise pad material for one link, from its own labeled stream.
+
+    ``job`` is ``(seed, n_bytes)``.  Module-level (and therefore picklable)
+    because both this module's parallel refill and the kms replenishment
+    scheduler fan it out across worker pools; the two callers must bank
+    byte-identical material for a given labeled seed, so there is exactly
+    one implementation.
+    """
     seed, n_bytes = job
+    if n_bytes <= 0:
+        return b""
     rng = DeterministicRNG(seed)
     return rng.getrandbits(8 * n_bytes).to_bytes(n_bytes, "big")
 
@@ -165,7 +174,7 @@ class TrustedRelayNetwork:
             pairs.append((node_a, node_b))
             jobs.append((self.rng.fork_labeled(label).seed, new_bytes))
         materials = parallel_map(
-            _pad_material, jobs, workers=workers, backend=backend
+            pad_material_from_seed, jobs, workers=workers, backend=backend
         )
         for (node_a, node_b), material in zip(pairs, materials):
             self.pad_for(node_a, node_b).add_key_material(material)

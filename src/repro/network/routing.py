@@ -10,7 +10,7 @@ bottleneck-avoiding choice for sustained key transport).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import networkx as nx
 

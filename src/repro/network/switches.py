@@ -17,11 +17,11 @@ experiment E9 sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.link.qkd_link import LinkParameters, QKDLink
-from repro.network.routing import PathSelector, RoutingError
+from repro.network.routing import PathSelector
 from repro.network.topology import NodeKind, QKDNetwork
 from repro.optics.channel import ChannelParameters
 from repro.optics.fiber import FiberSpan, LossElement, OpticalPath

@@ -22,7 +22,6 @@ photonic path, as Eve does in the paper's threat model.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 

@@ -18,7 +18,7 @@ stream, so adding or reordering links does not disturb the others.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.keypool import KeyPool
@@ -36,6 +36,10 @@ class LinkJob:
     seed: int
     n_slots: int
     flush: bool = True
+    #: Optional :class:`repro.eve.base.QuantumChannelAttack` interposed on
+    #: the photonic path for this run (must be picklable for the process
+    #: backend); ``None`` runs the clean channel.
+    attack: object = None
 
 
 @dataclass
@@ -54,6 +58,8 @@ class LinkRun:
 
 def _run_link_job(job: LinkJob) -> LinkRun:
     link = QKDLink(job.parameters, DeterministicRNG(job.seed), name=job.name)
+    if job.attack is not None:
+        link.attach_attack(job.attack)
     report = link.run_slots(job.n_slots, flush=job.flush)
     return LinkRun(
         name=job.name,

@@ -1,6 +1,5 @@
 """Tests for the BBN Cascade error-correction variant."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

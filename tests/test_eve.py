@@ -1,6 +1,5 @@
 """Tests for the eavesdropping attack models and the system's response to them."""
 
-import numpy as np
 import pytest
 
 from repro.core.engine import EngineParameters, QKDProtocolEngine

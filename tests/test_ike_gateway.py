@@ -5,7 +5,7 @@ import pytest
 from repro.core.keypool import KeyPool
 from repro.crypto.otp import OneTimePad
 from repro.ipsec.esp import EspError, EspProcessor
-from repro.ipsec.gateway import GatewayPair, VPNGateway
+from repro.ipsec.gateway import GatewayPair
 from repro.ipsec.ike import (
     QBLOCK_BITS,
     IKEConfig,

@@ -1,0 +1,486 @@
+"""The continuous-operation key-management subsystem (repro.kms).
+
+Covers the store's reservation/consume/expire contract, the deterministic
+workload schedules, the replenishment scheduler's priority and detection
+behaviour, and the full service soak — including the pinned worker-count
+invariance digest the subsystem's determinism contract promises.
+"""
+
+import pytest
+
+from repro.core.keypool import KeyBlock, KeyPool, KeyPoolExhaustedError
+from repro.eve.intercept_resend import InterceptResendAttack
+from repro.kms import (
+    KeyManagementService,
+    KeyStore,
+    KeyStoreExhaustedError,
+    KmsConfig,
+    ReplenishmentConfig,
+    ReplenishmentScheduler,
+    ReservationError,
+    TrafficWorkload,
+    WorkloadProfile,
+    percentile,
+)
+from repro.network.relay import TrustedRelayNetwork
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+
+def make_store(**kwargs):
+    defaults = dict(
+        capacity_bits=4096, low_water_bits=256, high_water_bits=1024
+    )
+    defaults.update(kwargs)
+    return KeyStore(("alice", "bob"), **defaults)
+
+
+def filled_store(bits=2048, **kwargs):
+    store = make_store(**kwargs)
+    store.deposit(BitString.random(bits, DeterministicRNG(5)), now=0.0)
+    return store
+
+
+# --------------------------------------------------------------------- #
+# KeyPool ageing primitive
+# --------------------------------------------------------------------- #
+
+
+class TestKeyPoolExpiry:
+    def test_expire_older_than_drops_head_blocks(self):
+        pool = KeyPool(name="aged")
+        pool.add_block(KeyBlock(BitString.random(64, DeterministicRNG(1)), 0, created_at=0.0))
+        pool.add_block(KeyBlock(BitString.random(64, DeterministicRNG(2)), 1, created_at=10.0))
+        dropped = pool.expire_older_than(5.0)
+        assert dropped == 64
+        assert pool.bits_expired == 64
+        assert pool.available_bits == 64
+
+    def test_expire_accounts_partially_consumed_head(self):
+        pool = KeyPool(name="aged")
+        pool.add_block(KeyBlock(BitString.random(64, DeterministicRNG(1)), 0, created_at=0.0))
+        pool.draw_bits(24)
+        assert pool.expire_older_than(5.0) == 40
+        assert pool.available_bits == 0
+
+
+# --------------------------------------------------------------------- #
+# KeyStore
+# --------------------------------------------------------------------- #
+
+
+class TestKeyStore:
+    def test_deposit_feeds_both_pools_identically(self):
+        store = make_store()
+        banked = store.deposit(BitString.random(512, DeterministicRNG(3)))
+        assert banked == 512
+        assert store.local_pool.available_bits == 512
+        assert store.remote_pool.available_bits == 512
+        a = store.local_pool.draw_bits(0)  # no-op draw allowed
+        assert len(a) == 0
+
+    def test_deposit_truncates_at_capacity(self):
+        store = make_store(capacity_bits=1024, high_water_bits=1024)
+        assert store.deposit(BitString.random(900, DeterministicRNG(1))) == 900
+        assert store.deposit(BitString.random(900, DeterministicRNG(2))) == 124
+        assert store.available_bits == 1024
+        assert store.deposit(BitString.random(8, DeterministicRNG(3))) == 0
+
+    def test_reserve_then_consume_draws_in_lockstep(self):
+        store = filled_store()
+        reservation = store.reserve(512, now=1.0)
+        assert store.reserved_bits == 512
+        assert store.unreserved_bits == 2048 - 512
+        with store.consuming(reservation, now=2.0):
+            local = store.local_pool.draw_bits(512)
+            remote = store.remote_pool.draw_bits(512)
+        assert local.to_bytes() == remote.to_bytes()
+        assert store.reserved_bits == 0
+        assert not reservation.active
+        assert store.statistics.bits_consumed == 512
+
+    def test_exhaustion_while_reservation_held(self):
+        """The ISSUE edge case: a held reservation starves later consumers
+        cleanly, and direct pool draws cannot invade the reserved bits."""
+        store = filled_store(bits=1024)
+        held = store.reserve(900, now=0.0)
+        # A second consumer cannot reserve what's left.
+        with pytest.raises(KeyStoreExhaustedError):
+            store.reserve(256, now=0.0)
+        assert store.statistics.reservations_denied == 1
+        # Nor can anyone draw past the reservation straight from the pools
+        # (124 unreserved bits are fine, 200 would invade).
+        assert len(store.local_pool.draw_bits(100)) == 100
+        with pytest.raises(KeyPoolExhaustedError):
+            store.local_pool.draw_bits(200)
+        # The holder's own consumption still goes through untouched.
+        with store.consuming(held, now=1.0):
+            assert len(store.local_pool.draw_bits(900)) == 900
+            assert len(store.remote_pool.draw_bits(900)) == 900
+
+    def test_release_returns_bits_to_unreserved(self):
+        store = filled_store(bits=1024)
+        reservation = store.reserve(1000)
+        store.release(reservation)
+        assert store.unreserved_bits == 1024
+        with pytest.raises(ReservationError):
+            store.release(reservation)
+        with pytest.raises(ReservationError):
+            store.consuming(reservation).__enter__()
+
+    def test_expiry_drops_old_blocks_in_lockstep(self):
+        store = make_store(max_key_age_seconds=100.0)
+        store.deposit(BitString.random(256, DeterministicRNG(1)), now=0.0)
+        store.deposit(BitString.random(256, DeterministicRNG(2)), now=90.0)
+        dropped = store.expire(now=150.0)
+        assert dropped == 256
+        assert store.local_pool.available_bits == 256
+        assert store.remote_pool.available_bits == 256
+        assert store.statistics.bits_expired == 256
+
+    def test_expiry_never_invades_reservations(self):
+        store = make_store(max_key_age_seconds=10.0)
+        store.deposit(BitString.random(256, DeterministicRNG(1)), now=0.0)
+        store.reserve(200, now=0.0)
+        # Everything is ancient, but only 56 bits are unreserved and expiry
+        # is block-granular — so nothing may be dropped.
+        assert store.expire(now=1000.0) == 0
+        assert store.available_bits == 256
+
+    def test_depletion_rate_tracks_draws(self):
+        store = filled_store()
+        for t in (10.0, 20.0, 30.0):
+            r = store.reserve(128, now=t)
+            with store.consuming(r, now=t):
+                store.local_pool.draw_bits(128)
+        assert store.depletion_rate_bps > 0
+        assert store.refill_priority() > 0
+
+    def test_water_mark_validation(self):
+        with pytest.raises(ValueError):
+            KeyStore(("a", "b"), capacity_bits=100, low_water_bits=80, high_water_bits=60)
+        with pytest.raises(ValueError):
+            filled_store().reserve(0)
+
+
+# --------------------------------------------------------------------- #
+# Workload schedules
+# --------------------------------------------------------------------- #
+
+
+class TestTrafficWorkload:
+    def test_poisson_schedule_is_per_pair_deterministic(self):
+        rng = DeterministicRNG(9)
+        workload = TrafficWorkload(WorkloadProfile.poisson(60.0), rng)
+        alone = workload.demand_times(("a", "b"), 3600.0)
+        # The same pair's schedule is untouched by other pairs being asked.
+        workload2 = TrafficWorkload(WorkloadProfile.poisson(60.0), DeterministicRNG(9))
+        workload2.demand_times(("c", "d"), 3600.0)
+        assert workload2.demand_times(("a", "b"), 3600.0) == alone
+        assert alone == sorted(alone)
+        assert all(0 <= t < 3600.0 for t in alone)
+        # Rough rate sanity: ~60 arrivals expected over the hour.
+        assert 20 <= len(alone) <= 140
+
+    def test_bursty_schedule_clusters(self):
+        profile = WorkloadProfile.bursty(600.0, burst_size=5, burst_spread_seconds=4.0)
+        workload = TrafficWorkload(profile, DeterministicRNG(4))
+        times = workload.demand_times(("a", "b"), 4 * 3600.0)
+        assert times == sorted(times)
+        # Bursts pack several arrivals into the spread window.
+        close_gaps = sum(
+            1 for t0, t1 in zip(times, times[1:]) if t1 - t0 <= 4.0
+        )
+        assert close_gaps >= len(times) // 2
+
+    def test_merged_schedule_is_time_ordered(self):
+        workload = TrafficWorkload(WorkloadProfile.poisson(120.0), DeterministicRNG(2))
+        merged = workload.schedule([("c", "d"), ("a", "b")], 1800.0)
+        assert merged == sorted(merged, key=lambda item: (item[0], item[1]))
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(kind="steady")
+        with pytest.raises(ValueError):
+            WorkloadProfile.poisson(0.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile.bursty(burst_size=0)
+
+
+# --------------------------------------------------------------------- #
+# Replenishment scheduler
+# --------------------------------------------------------------------- #
+
+
+def make_relays(seed=7, **kwargs):
+    defaults = dict(n_endpoints=5, n_relays=4)
+    defaults.update(kwargs)
+    return TrustedRelayNetwork.for_mesh(rng=DeterministicRNG(seed), **defaults)
+
+
+class TestReplenishmentScheduler:
+    def test_analytic_epoch_banks_material_up_to_target(self):
+        relays = make_relays()
+        config = ReplenishmentConfig(
+            epoch_seconds=600.0, workers=1, pad_target_bits=4096
+        )
+        scheduler = ReplenishmentScheduler(relays, DeterministicRNG(1), config)
+        report = scheduler.run_epoch()
+        assert report.total_banked_bits > 0
+        for edge in relays.network.links():
+            assert relays.pairwise_key_available_bits(edge.node_a, edge.node_b) <= 4096
+
+    def test_epoch_output_invariant_to_worker_count(self):
+        def pad_state(workers):
+            relays = make_relays()
+            scheduler = ReplenishmentScheduler(
+                relays,
+                DeterministicRNG(1),
+                ReplenishmentConfig(workers=workers, backend="thread"),
+            )
+            scheduler.run_epoch()
+            scheduler.run_epoch()
+            return {
+                (e.node_a, e.node_b): relays.pad_for(e.node_a, e.node_b).peek(
+                    relays.pad_for(e.node_a, e.node_b).available_bytes
+                )
+                for e in relays.network.links()
+            }
+
+        assert pad_state(1) == pad_state(4)
+
+    def test_unusable_links_are_skipped(self):
+        relays = make_relays()
+        relays.network.cut_link("relay-0", "relay-1")
+        scheduler = ReplenishmentScheduler(
+            relays, DeterministicRNG(1), ReplenishmentConfig(workers=1)
+        )
+        report = scheduler.run_epoch()
+        assert ("relay-0", "relay-1") in report.skipped_unusable
+        assert ("relay-0", "relay-1") not in report.dispatched
+        assert relays.pairwise_key_available_bits("relay-0", "relay-1") == 0
+
+    def test_pressure_boosts_priority(self):
+        relays = make_relays()
+        scheduler = ReplenishmentScheduler(
+            relays,
+            DeterministicRNG(1),
+            ReplenishmentConfig(workers=1, max_links_per_epoch=1),
+        )
+        scheduler.note_pressure("relay-1", "relay-2", amount=100.0)
+        report = scheduler.run_epoch()
+        assert report.dispatched == [("relay-1", "relay-2")]
+        # Pressure is consumed by the epoch that honoured it.
+        assert scheduler.pressure == {}
+
+    def test_analytic_attack_above_threshold_is_detected(self):
+        relays = make_relays()
+        scheduler = ReplenishmentScheduler(
+            relays, DeterministicRNG(1), ReplenishmentConfig(workers=1)
+        )
+        scheduler.attach_attack("relay-0", "relay-1", InterceptResendAttack(1.0))
+        report = scheduler.run_epoch()
+        assert ("relay-0", "relay-1") in report.newly_eavesdropped
+        assert report.banked_bits[("relay-0", "relay-1")] == 0
+        assert relays.network.link("relay-0", "relay-1").eavesdropping_detected
+        # Quiet interception stays under the radar but costs secret rate.
+        scheduler.detach_attack("relay-0", "relay-1")
+        relays.network.restore_link("relay-0", "relay-1")
+        scheduler.attach_attack("relay-0", "relay-1", InterceptResendAttack(0.1))
+        report2 = scheduler.run_epoch()
+        assert ("relay-0", "relay-1") not in report2.newly_eavesdropped
+        clean = max(
+            bits for pair, bits in report2.banked_bits.items()
+            if pair != ("relay-0", "relay-1")
+        )
+        assert report2.banked_bits[("relay-0", "relay-1")] < clean
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            ReplenishmentConfig(mode="psychic")
+        with pytest.raises(ValueError):
+            ReplenishmentConfig(epoch_seconds=0)
+
+
+# --------------------------------------------------------------------- #
+# The service soak
+# --------------------------------------------------------------------- #
+
+#: sha256 over every delivered end-to-end key, in delivery order, for the
+#: pinned soak below.  Any change to the relay transport draw order, the
+#: scheduler's commit order, the workload streams or the store bookkeeping
+#: that can perturb delivered key material breaks this — by design.
+PINNED_SOAK_DIGEST = (
+    "c5e236bca0d3758c11096ba7ff4a19e13b2b8625f084f8d3ae0024bd70ea2748"
+)
+
+
+def run_soak(workers, hours=2.0):
+    """The acceptance scenario: 9-node mesh, 10 gateway pairs, a mid-run
+    DoS link cut and a mid-run eavesdropping attack."""
+    relays = make_relays()  # 5 endpoints + 4 relays = 9 nodes
+    config = KmsConfig(
+        replenishment=ReplenishmentConfig(
+            epoch_seconds=120.0, workers=workers, backend="thread"
+        )
+    )
+    service = KeyManagementService(relays, config, rng=DeterministicRNG(7))
+    service.schedule_link_cut(1800.0, "relay-0", "relay-1")
+    service.schedule_attack(3600.0, "relay-2", "relay-3", InterceptResendAttack(1.0))
+    return service.serve(hours=hours)
+
+
+class TestKeyManagementService:
+    def test_soak_survives_failures_and_pins_digest(self):
+        report = run_soak(workers=1)
+        # Scale floor: >= 5 nodes, >= 8 gateway pairs, simulated hours.
+        assert len(report.per_pair) == 10
+        assert report.simulated_seconds == 2 * 3600.0
+        # Liveness: the network kept delivering and rekeying through a DoS
+        # cut and an eavesdropping attack, with zero starvation deadlocks —
+        # every demand reached a terminal or still-waiting state.
+        assert report.completion_accounted
+        assert report.rekeys_completed > 0
+        assert report.delivered_keys > 0
+        assert report.keys_per_second > 0
+        assert report.rekey_latency_p50_seconds <= report.rekey_latency_p99_seconds
+        # The failures actually happened and were handled, not crashed over.
+        assert report.reroutes > 0
+        assert ("relay-2", "relay-3") in report.eavesdropped_links
+        assert report.delivered_digest == PINNED_SOAK_DIGEST
+
+    def test_soak_digest_invariant_to_worker_count(self):
+        assert run_soak(workers=4).delivered_digest == PINNED_SOAK_DIGEST
+
+    def test_link_failure_mid_epoch_reroutes_and_keeps_serving(self):
+        relays = make_relays()
+        config = KmsConfig(
+            replenishment=ReplenishmentConfig(epoch_seconds=120.0, workers=1)
+        )
+        service = KeyManagementService(relays, config, rng=DeterministicRNG(3))
+        # endpoint-0 hangs off relay-0; cutting relay-0--relay-1 forces its
+        # cross-mesh traffic onto the surviving ring arcs mid-run.
+        service.schedule_link_cut(1500.0, "relay-0", "relay-1")
+        report = service.serve(hours=1.0)
+        assert report.reroutes > 0
+        assert report.completion_accounted
+        assert not relays.network.link("relay-0", "relay-1").operational
+        # Pairs kept being served after the cut.
+        assert report.rekeys_completed > report.demands * 0.5
+
+    def test_total_starvation_times_out_without_deadlock(self):
+        relays = make_relays()
+        # An epoch period beyond the horizon: no replenishment ever runs
+        # after t=0, pads stay empty, every demand must starve.
+        config = KmsConfig(
+            rekey_timeout_seconds=20.0,
+            replenishment=ReplenishmentConfig(
+                epoch_seconds=50_000.0, workers=1, pad_target_bits=0
+            ),
+        )
+        service = KeyManagementService(relays, config, rng=DeterministicRNG(5))
+        report = service.serve(hours=1.0)
+        assert report.demands > 0
+        assert report.rekeys_completed == 0
+        assert report.starvation_events == report.demands
+        assert report.rekeys_timed_out + report.pending_waiters == report.demands
+        assert report.completion_accounted
+        assert report.delivered_keys == 0
+
+    def test_failure_injection_validates_links_at_arm_time(self):
+        service = KeyManagementService(
+            make_relays(),
+            KmsConfig(replenishment=ReplenishmentConfig(workers=1)),
+            rng=DeterministicRNG(1),
+        )
+        with pytest.raises(KeyError):
+            service.schedule_link_cut(10.0, "relay-0", "relay-99")
+        with pytest.raises(KeyError):
+            service.schedule_attack(10.0, "endpoint-0", "endpoint-1", InterceptResendAttack(1.0))
+        with pytest.raises(KeyError):
+            service.replenisher.attach_attack("nope", "relay-0", InterceptResendAttack(1.0))
+
+    def test_serve_is_single_shot(self):
+        service = KeyManagementService(
+            make_relays(),
+            KmsConfig(replenishment=ReplenishmentConfig(workers=1)),
+            rng=DeterministicRNG(1),
+        )
+        service.serve(hours=0.05)
+        with pytest.raises(RuntimeError):
+            service.serve(hours=0.05)
+
+    def test_montecarlo_epochs_feed_the_service(self):
+        """The LinkFarm-backed mode: real Monte-Carlo epochs distill the
+        pads, worker count cannot perturb the outcome, and an attacked
+        link is caught by its measured QBER."""
+
+        def run(workers):
+            relays = make_relays(
+                seed=3, n_endpoints=2, n_relays=3, link_length_km=1.0
+            )
+            config = KmsConfig(
+                transport_key_bits=64,
+                store_capacity_bits=1024,
+                store_low_water_bits=64,
+                store_high_water_bits=128,
+                replenishment=ReplenishmentConfig(
+                    mode="montecarlo",
+                    slots_per_epoch=800_000,
+                    epoch_seconds=3600.0,
+                    workers=workers,
+                    backend="thread",
+                ),
+            )
+            service = KeyManagementService(relays, config, rng=DeterministicRNG(3))
+            service.schedule_attack(0.0, "relay-0", "relay-1", InterceptResendAttack(1.0))
+            return service.serve(hours=0.5)
+
+        first = run(1)
+        assert first.pad_bits_banked > 0
+        assert first.delivered_keys > 0
+        assert ("relay-0", "relay-1") in first.eavesdropped_links
+        assert first.completion_accounted
+        second = run(2)
+        assert second.delivered_digest == first.delivered_digest
+        assert second.pad_bits_banked == first.pad_bits_banked
+
+    def test_facade_serve(self):
+        from repro import KmsConfig as FacadeKmsConfig, QKDSystem
+
+        mesh = QKDSystem(seed=11).mesh(n_endpoints=5, n_relays=4, prefill_seconds=0.0)
+        report = mesh.serve(
+            hours=0.5,
+            config=FacadeKmsConfig(
+                replenishment=ReplenishmentConfig(epoch_seconds=120.0, workers=1)
+            ),
+        )
+        assert report.rekeys_completed > 0
+        assert report.completion_accounted
+        replay = (
+            QKDSystem(seed=11)
+            .mesh(n_endpoints=5, n_relays=4, prefill_seconds=0.0)
+            .serve(
+                hours=0.5,
+                config=FacadeKmsConfig(
+                    replenishment=ReplenishmentConfig(epoch_seconds=120.0, workers=3)
+                ),
+            )
+        )
+        assert replay.delivered_digest == report.delivered_digest
+
+
+# --------------------------------------------------------------------- #
+# Reporting helpers
+# --------------------------------------------------------------------- #
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 99) == 5.0
+        assert percentile(values, 0) == 1.0
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            percentile(values, 120)

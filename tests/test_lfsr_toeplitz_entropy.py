@@ -1,6 +1,5 @@
 """Tests for LFSRs, Toeplitz hashing and the entropy math helpers."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

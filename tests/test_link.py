@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.engine import EngineParameters
 from repro.core.entropy_estimation import SlutskyDefense
 from repro.eve import InterceptResendAttack
 from repro.link import LinkParameters, QKDLink
