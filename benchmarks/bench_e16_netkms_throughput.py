@@ -1,0 +1,147 @@
+"""E16 (networked delivery) — asyncio KMS front-end throughput.
+
+The first wall-clock concurrency benchmark in the suite: a
+:class:`~repro.netkms.server.NetworkKmsServer` serves per-pair
+:class:`~repro.kms.store.KeyStore` reservoirs to fleets of concurrent
+:class:`~repro.netkms.client.NetworkKmsClient` SAEs over the versioned
+binary protocol.  Each fleet level serves the *same* total request volume
+(reserve + consume of fixed-size keys, round-robin across the pairs) from
+identically refilled stores, so the table isolates what client concurrency
+does to requests/s and to the reserve-latency tail.
+
+Always asserted:
+
+* the served-key digest (order-independent sha256 over every delivered
+  chunk) is **identical at every concurrency level** — interleaving may
+  reorder who gets which chunk, but the material served off the stores'
+  FIFO pools must be exactly the same bits;
+* zero protocol errors and zero denied reservations (the stores are
+  provisioned to cover the demand), at every level;
+* every request is answered: keys served == requests issued.
+
+Knobs for CI smoke runs: ``BENCH_E16_REQUESTS`` (total get_key calls per
+level, default 360), ``BENCH_E16_BITS`` (key size, default 1024),
+``BENCH_E16_PAIRS`` (stores, default 4), ``BENCH_E16_CLIENTS`` (largest
+fleet, default 16).  With ``BENCH_JSON_DIR`` set the table lands in
+``BENCH_bench_e16_netkms_throughput.json`` for the nightly trajectory.
+"""
+
+import asyncio
+import struct
+import time
+
+from benchmarks.conftest import int_env, run_once
+from repro.kms.store import KeyStore
+from repro.netkms.client import NetworkKmsClient
+from repro.netkms.server import NetworkKmsServer
+from repro.util.bits import BitString
+
+REQUESTS = int_env("BENCH_E16_REQUESTS", 360, minimum=8)
+BITS = int_env("BENCH_E16_BITS", 1024, minimum=64)
+N_PAIRS = int_env("BENCH_E16_PAIRS", 4, minimum=1)
+MAX_CLIENTS = int_env("BENCH_E16_CLIENTS", 16, minimum=2)
+
+CLIENT_LEVELS = tuple(sorted({1, min(4, MAX_CLIENTS), MAX_CLIENTS}))
+
+
+def build_stores():
+    """One store per pair, provisioned to cover the whole request volume.
+
+    The material is a per-pair counter stream (every 64-bit word unique), so
+    any cross-client overlap or corruption would move the served digest.
+    """
+    per_pair = -(-REQUESTS // N_PAIRS) * BITS  # ceil-divided demand
+    stores = {}
+    for index in range(N_PAIRS):
+        pair = (f"sae-{index}a", f"sae-{index}b")
+        # Water marks scale with capacity: reduced smoke knobs can push the
+        # capacity below the stock high-water default, and no replenishment
+        # loop watches these stores anyway.
+        store = KeyStore(
+            pair, capacity_bits=2 * per_pair, low_water_bits=0, high_water_bits=per_pair
+        )
+        words = per_pair // 64
+        material = b"".join(
+            struct.pack(">Q", (index << 48) | word) for word in range(words)
+        )
+        store.deposit(BitString.from_bytes(material))
+        stores[pair] = store
+    return stores
+
+
+async def run_level(n_clients):
+    """Serve REQUESTS get_key calls across ``n_clients`` concurrent SAEs."""
+    stores = build_stores()
+    pairs = sorted(stores)
+    server = NetworkKmsServer(stores, port=0)
+
+    async def one_client(client_index, n_requests):
+        async with NetworkKmsClient(
+            "127.0.0.1", server.port, client_id=f"sae-{client_index}"
+        ) as client:
+            for request_index in range(n_requests):
+                pair = pairs[(client_index + request_index) % len(pairs)]
+                await client.get_key(pair, bits=BITS)
+
+    async with server:
+        started = time.perf_counter()
+        share = [REQUESTS // n_clients] * n_clients
+        for extra in range(REQUESTS % n_clients):
+            share[extra] += 1
+        await asyncio.gather(
+            *(one_client(index, count) for index, count in enumerate(share))
+        )
+        wall = time.perf_counter() - started
+    return server.metrics.report(), wall
+
+
+def test_e16_netkms_throughput(benchmark, table):
+    def experiment():
+        return {level: asyncio.run(run_level(level)) for level in CLIENT_LEVELS}
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for level, (report, wall) in results.items():
+        rows.append(
+            [
+                level,
+                REQUESTS,
+                f"{REQUESTS / wall:.0f}",
+                f"{report.requests_per_second:.0f}",
+                f"{report.reserve_latency_p50_seconds * 1e6:.0f}",
+                f"{report.reserve_latency_p99_seconds * 1e6:.0f}",
+                report.keys_served,
+                sum(report.protocol_errors.values()),
+                report.served_digest[:12],
+            ]
+        )
+    table(
+        f"E16: netkms front end, {REQUESTS} x {BITS}-bit get_key over "
+        f"{N_PAIRS} pairs",
+        [
+            "clients",
+            "requests",
+            "keys/s",
+            "req/s",
+            "rsv p50 us",
+            "rsv p99 us",
+            "served",
+            "proto errs",
+            "digest",
+        ],
+        rows,
+    )
+
+    digests = {report.served_digest for report, _wall in results.values()}
+    # Concurrency may reorder who gets which chunk, never which material is
+    # served: identical stores must yield one digest at every fleet size.
+    assert len(digests) == 1, "client concurrency changed the served key material"
+    for level, (report, _wall) in results.items():
+        assert report.keys_served == REQUESTS, f"{level} clients: requests unanswered"
+        assert report.key_bits_served == REQUESTS * BITS
+        assert not report.protocol_errors, f"{level} clients: protocol errors"
+        assert report.reservations_denied == 0, f"{level} clients: denials"
+        assert (
+            report.reserve_latency_p50_seconds <= report.reserve_latency_p99_seconds
+        )

@@ -11,9 +11,20 @@ proportionally.
 
 Layout rules (documented for interoperability in ``docs/API.md``):
 
-* every binary message starts with a 1-byte kind tag in ``0x01..0x06`` —
-  distinct from ``{`` (0x7B), so binary and JSON messages can coexist in one
-  transcript and be told apart from their first byte;
+* every binary message starts with a 1-byte kind tag — distinct from ``{``
+  (0x7B), so binary and JSON messages can coexist in one transcript and be
+  told apart from their first byte;
+* **kind-tag allocation policy**: the kind byte is a single flat namespace
+  shared by every subsystem that reuses these primitives, and ranges are
+  claimed here before any kind inside them is defined, so two subsystems
+  can never collide.  Current allocation: ``0x01..0x06`` the distillation
+  transcript messages below; ``0x07..0x1F`` reserved for future transcript
+  kinds; ``0x20..0x3F`` the networked key-delivery protocol
+  (:mod:`repro.netkms`, which also carries an explicit version byte for
+  negotiated evolution); ``0x40..0x7A`` unallocated; ``0x7B`` is JSON's
+  ``{``; ``0x7C..0xFF`` unallocated.  A new subsystem claims a contiguous
+  sub-range by extending this list (and the constants below) in the same
+  change that introduces its first message kind;
 * fixed-width header fields are **little-endian** (``<u32`` / ``<i32``);
 * variable-length non-negative integers use **LEB128 varints**: 7 value bits
   per byte, least-significant group first, high bit set on every byte except
@@ -40,6 +51,13 @@ KIND_CASCADE_SUBSETS = 0x03
 KIND_CASCADE_PARITIES = 0x04
 KIND_CASCADE_BISECT = 0x05
 KIND_CASCADE_BISECT_REPLY = 0x06
+
+#: Kind ranges claimed by other subsystems (see the allocation policy in the
+#: module docstring).  The transcript codec owns 0x01..0x1F; the networked
+#: key-delivery protocol (repro.netkms) defines its kinds inside
+#: [KIND_NETKMS_FIRST, KIND_NETKMS_LAST] and nowhere else.
+KIND_NETKMS_FIRST = 0x20
+KIND_NETKMS_LAST = 0x3F
 
 _U32_MAX = (1 << 32) - 1
 

@@ -42,7 +42,10 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep kms asyncio-free
+    from repro.netkms.server import NetworkKmsServer
 
 from repro.ipsec.gateway import GatewayPair
 from repro.ipsec.ike import QBLOCK_BITS, NegotiationError
@@ -466,6 +469,28 @@ class KeyManagementService:
             return
         for hop_a, hop_b in zip(path, path[1:]):
             self.replenisher.note_pressure(hop_a, hop_b)
+
+    # ------------------------------------------------------------------ #
+    # Networked delivery (repro.netkms)
+    # ------------------------------------------------------------------ #
+
+    def serve_network(
+        self, host: str = "127.0.0.1", port: int = 0, **server_kwargs
+    ) -> "NetworkKmsServer":
+        """A network front end over this service's per-pair stores.
+
+        Returns an *unstarted* :class:`~repro.netkms.server.NetworkKmsServer`
+        bound to the same :class:`KeyStore` objects the in-process gateways
+        draw from — ``await server.start()`` inside an event loop brings it
+        up (``port=0`` binds an ephemeral port).  Network consumers and the
+        reservation contract keep the stores race-free between them; see
+        :mod:`repro.netkms` for the protocol and its version negotiation.
+        """
+        from repro.netkms.server import NetworkKmsServer
+
+        return NetworkKmsServer(
+            self.stores, host=host, port=port, now=self.clock.now, **server_kwargs
+        )
 
     # ------------------------------------------------------------------ #
     # Reporting

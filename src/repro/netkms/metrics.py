@@ -1,0 +1,133 @@
+"""Per-request accounting for the networked key-delivery front end.
+
+The in-process soak (:mod:`repro.kms.service`) measures *simulated* time;
+the network server measures *wall* time — how fast the asyncio front end
+actually answers concurrent SAE clients.  One :class:`NetKmsMetrics` lives
+on each :class:`~repro.netkms.server.NetworkKmsServer` and accumulates:
+
+* request counts per message kind and a requests/s rate over the serving
+  window;
+* reserve-request handling latency (wall seconds, p50/p99/mean — reserve is
+  the contended operation, so its tail is the one worth watching);
+* protocol-error counts per error code, split fatal/request-level;
+* served-key accounting plus an order-independent digest of the served
+  material (sorted-chunk sha256), the bench invariant that must not move
+  with client concurrency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.kms.service import percentile
+from repro.netkms.protocol import ERROR_NAMES, FATAL_ERRORS
+
+
+@dataclass
+class MetricsReport:
+    """A snapshot of one server's serving window."""
+
+    elapsed_seconds: float
+    connections_opened: int
+    connections_closed: int
+    requests: int
+    requests_per_second: float
+    requests_by_kind: Dict[str, int]
+    reserve_latency_p50_seconds: float
+    reserve_latency_p99_seconds: float
+    reserve_latency_mean_seconds: float
+    reservations_granted: int
+    reservations_denied: int
+    keys_served: int
+    key_bits_served: int
+    protocol_errors: Dict[str, int]
+    fatal_errors: int
+    served_digest: str
+
+
+class NetKmsMetrics:
+    """Wall-clock accounting for one server instance."""
+
+    def __init__(self) -> None:
+        self.started_at = time.perf_counter()
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.requests_by_kind: Dict[str, int] = {}
+        self.reserve_latencies: List[float] = []
+        self.reservations_granted = 0
+        self.reservations_denied = 0
+        self.keys_served = 0
+        self.key_bits_served = 0
+        self.error_counts: Dict[int, int] = {}
+        self.fatal_errors = 0
+        #: sha256 of each served chunk; the report digest hashes these
+        #: *sorted*, so it is independent of service order (and therefore of
+        #: client concurrency) as long as the same material is served.
+        self._chunk_digests: List[bytes] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording (called by the server's connection handlers)
+    # ------------------------------------------------------------------ #
+
+    def note_request(self, kind_name: str) -> None:
+        self.requests_by_kind[kind_name] = self.requests_by_kind.get(kind_name, 0) + 1
+
+    def note_reserve(self, latency_seconds: float, granted: bool) -> None:
+        self.reserve_latencies.append(latency_seconds)
+        if granted:
+            self.reservations_granted += 1
+        else:
+            self.reservations_denied += 1
+
+    def note_key_served(self, key_bytes: bytes, key_bits: int) -> None:
+        self.keys_served += 1
+        self.key_bits_served += key_bits
+        self._chunk_digests.append(hashlib.sha256(key_bytes).digest())
+
+    def note_error(self, code: int) -> None:
+        self.error_counts[code] = self.error_counts.get(code, 0) + 1
+        if code in FATAL_ERRORS:
+            self.fatal_errors += 1
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def served_digest(self) -> str:
+        """Order-independent sha256 over all served key material."""
+        rollup = hashlib.sha256()
+        for digest in sorted(self._chunk_digests):
+            rollup.update(digest)
+        return rollup.hexdigest()
+
+    def report(self) -> MetricsReport:
+        elapsed = max(time.perf_counter() - self.started_at, 1e-9)
+        total = sum(self.requests_by_kind.values())
+        latencies = self.reserve_latencies
+        return MetricsReport(
+            elapsed_seconds=elapsed,
+            connections_opened=self.connections_opened,
+            connections_closed=self.connections_closed,
+            requests=total,
+            requests_per_second=total / elapsed,
+            requests_by_kind=dict(self.requests_by_kind),
+            reserve_latency_p50_seconds=percentile(latencies, 50),
+            reserve_latency_p99_seconds=percentile(latencies, 99),
+            reserve_latency_mean_seconds=sum(latencies) / max(len(latencies), 1),
+            reservations_granted=self.reservations_granted,
+            reservations_denied=self.reservations_denied,
+            keys_served=self.keys_served,
+            key_bits_served=self.key_bits_served,
+            protocol_errors={
+                ERROR_NAMES.get(code, str(code)): count
+                for code, count in sorted(self.error_counts.items())
+            },
+            fatal_errors=self.fatal_errors,
+            served_digest=self.served_digest(),
+        )
+
+
+__all__ = ["MetricsReport", "NetKmsMetrics"]

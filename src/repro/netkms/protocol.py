@@ -1,0 +1,665 @@
+"""The netkms wire protocol: framing, message codecs, version negotiation.
+
+Key delivery only becomes a *service* when the :class:`~repro.kms.store.KeyStore`
+reserve/consume contract is reachable over a network API (the ETSI GS QKD 014
+shape: a secure application entity asks its local KME for key against one peer
+pair).  This module defines the byte-level protocol both sides of
+:mod:`repro.netkms` speak; the asyncio server and client are in
+:mod:`repro.netkms.server` and :mod:`repro.netkms.client`.
+
+Framing
+-------
+
+Every message travels as one length-prefixed frame::
+
+    <u32le body length> || body
+    body[0] = kind      (one byte, in the 0x20..0x3F netkms range that
+                         repro.core.wire reserves for this subsystem)
+    body[1] = version   (the protocol version the body is encoded at)
+    body[2:] = fixed little-endian header fields, then variable payload
+
+The length prefix is validated against ``max_frame_bytes`` *before* the body
+is read, and every count inside a body is validated against the bytes that
+actually arrived before anything output-sized is allocated — the same
+hostile-input contract as the PR 4 transcript codec
+(:func:`repro.core.wire.decode_varints`).
+
+Version negotiation
+-------------------
+
+Connections open with a HELLO exchange: the client offers an inclusive
+``[min_version, max_version]`` range, the server picks the highest version
+both sides speak and answers WELCOME (or a fatal ``ERR_VERSION`` error when
+the ranges are disjoint).  Every subsequent frame carries the negotiated
+version in its header byte and is rejected otherwise.  The HELLO frame
+itself is always encoded at :data:`PROTOCOL_V1` — the floor encoding any
+implementation can parse — so a v1 server can read a v9 client's offer and
+still negotiate down.  This is the backward-compatible-upgrade discipline:
+v2 adds a trailing ``depletion_rate_millibps`` field to STATUS_OK, and a
+v1 peer never sees it because the *negotiated* version, not the newest
+implemented one, selects the encoding.
+
+Error handling
+--------------
+
+Every malformed input maps to a typed :class:`ProtocolError` with a stable
+error code; servers answer with an ERROR frame and, for connection-level
+codes (:data:`FATAL_ERRORS` — malformed bytes, version mismatch, unknown
+kind, oversized frame), close the connection.  Request-level failures
+(unknown pair, exhausted store, unknown reservation) leave the connection
+usable.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+#: Protocol versions this implementation speaks.  v2 is v1 plus a trailing
+#: ``depletion_rate_millibps`` varint on STATUS_OK.
+PROTOCOL_V1 = 1
+PROTOCOL_V2 = 2
+SUPPORTED_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2)
+
+#: Message kinds, allocated inside the ``0x20..0x3F`` range that
+#: :mod:`repro.core.wire` reserves for netkms.
+KIND_HELLO = 0x20
+KIND_WELCOME = 0x21
+KIND_ERROR = 0x22
+KIND_STATUS = 0x23
+KIND_STATUS_OK = 0x24
+KIND_CAPABILITIES = 0x25
+KIND_CAPABILITIES_OK = 0x26
+KIND_RESERVE = 0x27
+KIND_RESERVE_OK = 0x28
+KIND_CONSUME = 0x29
+KIND_CONSUME_OK = 0x2A
+KIND_RELEASE = 0x2B
+KIND_RELEASE_OK = 0x2C
+
+#: Error codes carried by ERROR frames.
+ERR_VERSION = 1
+ERR_MALFORMED = 2
+ERR_UNKNOWN_KIND = 3
+ERR_OVERSIZED = 4
+ERR_UNKNOWN_PAIR = 5
+ERR_EXHAUSTED = 6
+ERR_UNKNOWN_RESERVATION = 7
+ERR_LIMIT = 8
+ERR_INTERNAL = 9
+
+#: Codes after which the offending connection is closed (the stream can no
+#: longer be trusted to be in frame sync, or no version was ever agreed).
+FATAL_ERRORS = frozenset({ERR_VERSION, ERR_MALFORMED, ERR_UNKNOWN_KIND, ERR_OVERSIZED})
+
+ERROR_NAMES = {
+    ERR_VERSION: "version-mismatch",
+    ERR_MALFORMED: "malformed",
+    ERR_UNKNOWN_KIND: "unknown-kind",
+    ERR_OVERSIZED: "oversized-frame",
+    ERR_UNKNOWN_PAIR: "unknown-pair",
+    ERR_EXHAUSTED: "exhausted",
+    ERR_UNKNOWN_RESERVATION: "unknown-reservation",
+    ERR_LIMIT: "limit",
+    ERR_INTERNAL: "internal",
+}
+
+#: Default cap on one frame's body; chosen so the largest legitimate frame
+#: (a CONSUME_OK carrying ``max_reserve_bits`` of key) fits with headroom
+#: while a hostile length prefix can never force a large read.
+MAX_FRAME_BYTES = 1 << 16
+
+#: A frame body is at least the kind and version bytes.
+_MIN_BODY = 2
+
+_LENGTH_PREFIX = struct.Struct("<I")
+
+
+class ProtocolError(Exception):
+    """A typed netkms protocol violation (``code`` is one of the ``ERR_*``)."""
+
+    def __init__(self, code: int, detail: str):
+        super().__init__(f"{ERROR_NAMES.get(code, code)}: {detail}")
+        self.code = code
+        self.detail = detail
+
+    @property
+    def fatal(self) -> bool:
+        return self.code in FATAL_ERRORS
+
+
+class ServerError(Exception):
+    """Raised client-side when the server answers a request with ERROR."""
+
+    def __init__(self, code: int, detail: str):
+        super().__init__(f"server error {ERROR_NAMES.get(code, code)}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+def negotiate(client_min: int, client_max: int, server_versions: Tuple[int, ...]) -> Optional[int]:
+    """The version a server picks for a client's offered range (None = none)."""
+    if client_min > client_max:
+        return None
+    usable = [v for v in server_versions if client_min <= v <= client_max]
+    return max(usable) if usable else None
+
+
+# --------------------------------------------------------------------------- #
+# Body primitives
+# --------------------------------------------------------------------------- #
+
+
+class _Cursor:
+    """A validating reader over one frame body.
+
+    Every read checks the remaining length first, so a hostile count can
+    never index past the bytes that actually arrived, and
+    :meth:`expect_end` rejects trailing garbage (which is how a v2-only
+    trailing field is *detected* as malformed at v1).
+    """
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self.data = data
+        self.offset = offset
+
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def u8(self, what: str) -> int:
+        if self.remaining() < 1:
+            raise ProtocolError(ERR_MALFORMED, f"truncated before {what}")
+        value = self.data[self.offset]
+        self.offset += 1
+        return value
+
+    def varint(self, what: str) -> int:
+        value = 0
+        for i in range(10):
+            byte = self.u8(what)
+            value |= (byte & 0x7F) << (7 * i)
+            if byte < 0x80:
+                if value >= 1 << 64:
+                    raise ProtocolError(ERR_MALFORMED, f"{what} overflows 64 bits")
+                return value
+        raise ProtocolError(ERR_MALFORMED, f"{what} varint longer than 10 bytes")
+
+    def raw(self, count: int, what: str) -> bytes:
+        if count > self.remaining():
+            raise ProtocolError(
+                ERR_MALFORMED,
+                f"{what} claims {count} bytes, {self.remaining()} remain",
+            )
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def string(self, what: str, limit: int = 255) -> str:
+        length = self.varint(f"{what} length")
+        if length > limit:
+            raise ProtocolError(ERR_MALFORMED, f"{what} longer than {limit} bytes")
+        try:
+            return self.raw(length, what).decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError(ERR_MALFORMED, f"{what} is not valid UTF-8") from None
+
+    def pair(self) -> Tuple[str, str]:
+        return (self.string("pair[0]"), self.string("pair[1]"))
+
+    def expect_end(self, what: str) -> None:
+        if self.remaining():
+            raise ProtocolError(ERR_MALFORMED, f"{self.remaining()} trailing bytes after {what}")
+
+
+def _varint(value: int) -> bytes:
+    if value < 0 or value >= 1 << 64:
+        raise ValueError("varints encode non-negative 64-bit integers only")
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def _string(text: str) -> bytes:
+    data = text.encode("utf-8")
+    if len(data) > 255:
+        raise ValueError("protocol strings are limited to 255 bytes")
+    return _varint(len(data)) + data
+
+
+def _pair_bytes(pair: Tuple[str, str]) -> bytes:
+    return _string(pair[0]) + _string(pair[1])
+
+
+def _header(kind: int, version: int, request_id: int) -> bytes:
+    if not 0 <= request_id <= 0xFFFFFFFF:
+        raise ValueError("request id out of u32 range")
+    return struct.pack("<BBI", kind, version, request_id)
+
+
+# --------------------------------------------------------------------------- #
+# Messages
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Message:
+    """Base of every netkms message; ``request_id`` correlates pipelining."""
+
+    request_id: int = 0
+
+    KIND = 0  # overridden per subclass
+    # Not a dataclass field (no annotation): set per-instance by
+    # decode_body to the header version the frame actually carried.
+    wire_version = None
+
+    def encode(self, version: int) -> bytes:
+        return _header(self.KIND, version, self.request_id) + self._payload(version)
+
+    def _payload(self, version: int) -> bytes:
+        return b""
+
+
+@dataclass
+class Hello(Message):
+    """Client opener: the inclusive version range it speaks, and its name."""
+
+    min_version: int = PROTOCOL_V1
+    max_version: int = PROTOCOL_V2
+    client_id: str = "sae"
+
+    KIND = KIND_HELLO
+
+    def encode(self, version: int = PROTOCOL_V1) -> bytes:
+        # Always the floor encoding: any server can parse any client's offer.
+        return super().encode(PROTOCOL_V1)
+
+    def _payload(self, version: int) -> bytes:
+        return bytes([self.min_version, self.max_version]) + _string(self.client_id)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "Hello":
+        msg = cls(
+            request_id=request_id,
+            min_version=cursor.u8("min version"),
+            max_version=cursor.u8("max version"),
+            client_id=cursor.string("client id"),
+        )
+        if msg.min_version > msg.max_version:
+            raise ProtocolError(ERR_MALFORMED, "HELLO offers an empty version range")
+        return msg
+
+
+@dataclass
+class Welcome(Message):
+    """Server reply to HELLO; its header version *is* the negotiated one."""
+
+    server_id: str = "kme"
+
+    KIND = KIND_WELCOME
+
+    def _payload(self, version: int) -> bytes:
+        return _string(self.server_id)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "Welcome":
+        return cls(request_id=request_id, server_id=cursor.string("server id"))
+
+
+@dataclass
+class Error(Message):
+    """A typed failure; ``request_id`` echoes the request (0 pre-negotiation)."""
+
+    code: int = ERR_INTERNAL
+    detail: str = ""
+
+    KIND = KIND_ERROR
+
+    def _payload(self, version: int) -> bytes:
+        return bytes([self.code]) + _string(self.detail)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "Error":
+        return cls(
+            request_id=request_id,
+            code=cursor.u8("error code"),
+            detail=cursor.string("error detail"),
+        )
+
+
+@dataclass
+class Status(Message):
+    """Ask for one pair's store levels."""
+
+    pair: Tuple[str, str] = ("", "")
+
+    KIND = KIND_STATUS
+
+    def _payload(self, version: int) -> bytes:
+        return _pair_bytes(self.pair)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "Status":
+        return cls(request_id=request_id, pair=cursor.pair())
+
+
+@dataclass
+class StatusOk(Message):
+    """One store's levels.  v2 appends ``depletion_rate_millibps``."""
+
+    pair: Tuple[str, str] = ("", "")
+    available_bits: int = 0
+    reserved_bits: int = 0
+    unreserved_bits: int = 0
+    low_water_bits: int = 0
+    high_water_bits: int = 0
+    capacity_bits: int = 0
+    #: EWMA draw rate in millibits/second — present at v2+, ``None`` at v1.
+    depletion_rate_millibps: Optional[int] = None
+
+    KIND = KIND_STATUS_OK
+
+    def _payload(self, version: int) -> bytes:
+        out = _pair_bytes(self.pair)
+        for value in (
+            self.available_bits,
+            self.reserved_bits,
+            self.unreserved_bits,
+            self.low_water_bits,
+            self.high_water_bits,
+            self.capacity_bits,
+        ):
+            out += _varint(value)
+        if version >= PROTOCOL_V2:
+            out += _varint(self.depletion_rate_millibps or 0)
+        return out
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "StatusOk":
+        msg = cls(
+            request_id=request_id,
+            pair=cursor.pair(),
+            available_bits=cursor.varint("available bits"),
+            reserved_bits=cursor.varint("reserved bits"),
+            unreserved_bits=cursor.varint("unreserved bits"),
+            low_water_bits=cursor.varint("low water"),
+            high_water_bits=cursor.varint("high water"),
+            capacity_bits=cursor.varint("capacity"),
+        )
+        if version >= PROTOCOL_V2:
+            msg.depletion_rate_millibps = cursor.varint("depletion rate")
+        return msg
+
+
+@dataclass
+class Capabilities(Message):
+    """Ask what the server speaks and serves."""
+
+    KIND = KIND_CAPABILITIES
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "Capabilities":
+        return cls(request_id=request_id)
+
+
+@dataclass
+class CapabilitiesOk(Message):
+    """Server limits plus the sorted list of pairs it serves."""
+
+    min_version: int = PROTOCOL_V1
+    max_version: int = PROTOCOL_V2
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    max_reserve_bits: int = 0
+    pairs: Tuple[Tuple[str, str], ...] = ()
+
+    KIND = KIND_CAPABILITIES_OK
+
+    def _payload(self, version: int) -> bytes:
+        out = bytes([self.min_version, self.max_version])
+        out += _varint(self.max_frame_bytes)
+        out += _varint(self.max_reserve_bits)
+        out += _varint(len(self.pairs))
+        for pair in self.pairs:
+            out += _pair_bytes(pair)
+        return out
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "CapabilitiesOk":
+        min_version = cursor.u8("min version")
+        max_version = cursor.u8("max version")
+        max_frame = cursor.varint("max frame bytes")
+        max_reserve = cursor.varint("max reserve bits")
+        n_pairs = cursor.varint("pair count")
+        # Each pair needs at least two length bytes; reject the count from
+        # the bytes present before building anything pair-count sized.
+        if n_pairs > cursor.remaining() // 2:
+            raise ProtocolError(
+                ERR_MALFORMED,
+                f"pair count {n_pairs} exceeds what {cursor.remaining()} bytes can hold",
+            )
+        pairs = tuple(cursor.pair() for _ in range(n_pairs))
+        return cls(
+            request_id=request_id,
+            min_version=min_version,
+            max_version=max_version,
+            max_frame_bytes=max_frame,
+            max_reserve_bits=max_reserve,
+            pairs=pairs,
+        )
+
+
+@dataclass
+class Reserve(Message):
+    """Claim ``bits`` bits of one pair's store for an upcoming consume."""
+
+    pair: Tuple[str, str] = ("", "")
+    bits: int = 0
+
+    KIND = KIND_RESERVE
+
+    def _payload(self, version: int) -> bytes:
+        return _pair_bytes(self.pair) + _varint(self.bits)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "Reserve":
+        return cls(request_id=request_id, pair=cursor.pair(), bits=cursor.varint("bits"))
+
+
+@dataclass
+class ReserveOk(Message):
+    """A granted reservation, to be consumed or released by id."""
+
+    reservation_id: int = 0
+    bits: int = 0
+
+    KIND = KIND_RESERVE_OK
+
+    def _payload(self, version: int) -> bytes:
+        return _varint(self.reservation_id) + _varint(self.bits)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "ReserveOk":
+        return cls(
+            request_id=request_id,
+            reservation_id=cursor.varint("reservation id"),
+            bits=cursor.varint("bits"),
+        )
+
+
+@dataclass
+class Consume(Message):
+    """Draw a held reservation's key material."""
+
+    pair: Tuple[str, str] = ("", "")
+    reservation_id: int = 0
+
+    KIND = KIND_CONSUME
+
+    def _payload(self, version: int) -> bytes:
+        return _pair_bytes(self.pair) + _varint(self.reservation_id)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "Consume":
+        return cls(
+            request_id=request_id,
+            pair=cursor.pair(),
+            reservation_id=cursor.varint("reservation id"),
+        )
+
+
+@dataclass
+class ConsumeOk(Message):
+    """The served key: ``key_bits`` bits packed MSB-first into ``key_bytes``."""
+
+    reservation_id: int = 0
+    key_bits: int = 0
+    key_bytes: bytes = b""
+
+    KIND = KIND_CONSUME_OK
+
+    def _payload(self, version: int) -> bytes:
+        if len(self.key_bytes) != (self.key_bits + 7) // 8:
+            raise ValueError("key byte length does not match key_bits")
+        return _varint(self.reservation_id) + _varint(self.key_bits) + self.key_bytes
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "ConsumeOk":
+        reservation_id = cursor.varint("reservation id")
+        key_bits = cursor.varint("key bits")
+        key_bytes = cursor.raw((key_bits + 7) // 8, "key material")
+        return cls(
+            request_id=request_id,
+            reservation_id=reservation_id,
+            key_bits=key_bits,
+            key_bytes=key_bytes,
+        )
+
+
+@dataclass
+class Release(Message):
+    """Give a held reservation back without consuming it."""
+
+    pair: Tuple[str, str] = ("", "")
+    reservation_id: int = 0
+
+    KIND = KIND_RELEASE
+
+    def _payload(self, version: int) -> bytes:
+        return _pair_bytes(self.pair) + _varint(self.reservation_id)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "Release":
+        return cls(
+            request_id=request_id,
+            pair=cursor.pair(),
+            reservation_id=cursor.varint("reservation id"),
+        )
+
+
+@dataclass
+class ReleaseOk(Message):
+    reservation_id: int = 0
+
+    KIND = KIND_RELEASE_OK
+
+    def _payload(self, version: int) -> bytes:
+        return _varint(self.reservation_id)
+
+    @classmethod
+    def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "ReleaseOk":
+        return cls(request_id=request_id, reservation_id=cursor.varint("reservation id"))
+
+
+_DECODERS: Dict[int, Type[Message]] = {
+    cls.KIND: cls
+    for cls in (
+        Hello,
+        Welcome,
+        Error,
+        Status,
+        StatusOk,
+        Capabilities,
+        CapabilitiesOk,
+        Reserve,
+        ReserveOk,
+        Consume,
+        ConsumeOk,
+        Release,
+        ReleaseOk,
+    )
+}
+
+
+# --------------------------------------------------------------------------- #
+# Frame codec
+# --------------------------------------------------------------------------- #
+
+
+def encode_frame(message: Message, version: int) -> bytes:
+    """One length-prefixed frame carrying ``message`` at ``version``."""
+    body = message.encode(version)
+    return _LENGTH_PREFIX.pack(len(body)) + body
+
+
+def decode_body(body: bytes, expected_version: Optional[int]) -> Message:
+    """Decode one frame body, enforcing kind, version and exact length.
+
+    ``expected_version`` is the negotiated version; pass ``None`` during the
+    handshake, where HELLO is pinned to the floor encoding and WELCOME's
+    header byte *announces* the negotiated version.  Raises
+    :class:`ProtocolError` on any violation.
+    """
+    if len(body) < _MIN_BODY:
+        raise ProtocolError(ERR_MALFORMED, f"frame body of {len(body)} bytes has no header")
+    cursor = _Cursor(body)
+    kind = cursor.u8("kind")
+    version = cursor.u8("version")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise ProtocolError(ERR_UNKNOWN_KIND, f"unknown message kind 0x{kind:02x}")
+    if decoder is Hello:
+        if version != PROTOCOL_V1:
+            raise ProtocolError(ERR_VERSION, f"HELLO must use the floor encoding, got v{version}")
+    elif decoder is Welcome:
+        if version not in SUPPORTED_VERSIONS:
+            raise ProtocolError(ERR_VERSION, f"server chose unsupported v{version}")
+    elif expected_version is not None:
+        if version != expected_version:
+            raise ProtocolError(ERR_VERSION, f"frame is v{version}, negotiated v{expected_version}")
+    elif decoder is Error:
+        # A fatal pre-negotiation rejection travels at the floor encoding.
+        if version != PROTOCOL_V1:
+            raise ProtocolError(ERR_VERSION, f"pre-negotiation ERROR must be v1, got v{version}")
+    else:
+        raise ProtocolError(ERR_VERSION, f"0x{kind:02x} before version negotiation completed")
+    if cursor.remaining() < 4:
+        raise ProtocolError(ERR_MALFORMED, "frame truncated inside request id")
+    (request_id,) = struct.unpack_from("<I", body, cursor.offset)
+    cursor.offset += 4
+    message = decoder._decode(cursor, request_id, version)
+    cursor.expect_end(ERROR_NAMES.get(kind, f"kind 0x{kind:02x}"))
+    # The header version the frame actually carried — how a connecting
+    # client learns which version a WELCOME frame announces.
+    message.wire_version = version
+    return message
+
+
+async def read_frame(reader, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Read one frame body from an asyncio stream, or raise.
+
+    The length prefix is checked against ``max_frame_bytes`` *before* the
+    body read, so an absurd prefix is rejected without any body-sized
+    allocation.  Raises :class:`asyncio.IncompleteReadError` when the peer
+    closes mid-frame (or cleanly between frames) and :class:`ProtocolError`
+    on an invalid length.
+    """
+    prefix = await reader.readexactly(4)
+    (length,) = _LENGTH_PREFIX.unpack(prefix)
+    if length < _MIN_BODY:
+        raise ProtocolError(ERR_MALFORMED, f"frame length {length} below header size")
+    if length > max_frame_bytes:
+        raise ProtocolError(ERR_OVERSIZED, f"frame length {length} exceeds cap {max_frame_bytes}")
+    return await reader.readexactly(length)

@@ -1,0 +1,365 @@
+"""The asyncio key-delivery server: KeyStores behind a TCP front end.
+
+:class:`NetworkKmsServer` exposes a set of per-pair
+:class:`~repro.kms.store.KeyStore` reservoirs to many concurrent SAE clients
+over the :mod:`repro.netkms.protocol` framing.  The contract it inherits
+from the in-process store layer is the one that matters under concurrency:
+**no two clients ever receive overlapping key material**, because every
+CONSUME draws inside ``store.consuming(reservation)`` and the store's pools
+refuse draws that would invade another consumer's reservation.
+
+Concurrency model
+-----------------
+
+One asyncio task per connection; requests on a connection are answered in
+order (clients may pipeline — responses echo the request id).  All store
+operations are synchronous and are additionally serialized through a
+per-pair :class:`asyncio.Lock` around the reserve-bookkeeping and
+consume-draw sections, so the no-overlap guarantee does not silently depend
+on no ``await`` ever creeping between a lookup and its draw.
+
+Hostile input
+-------------
+
+Frames are validated before anything input-sized is allocated (length
+prefix against ``max_frame_bytes``, every interior count against the bytes
+present), mirroring the transcript codec's decode-validation contract.
+Violations are answered with a typed ERROR frame; fatal codes
+(:data:`repro.netkms.protocol.FATAL_ERRORS`) also close the connection,
+because an out-of-sync or version-less stream cannot be reframed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.kms.store import KeyReservation, KeyStore, KeyStoreExhaustedError
+from repro.netkms import protocol
+from repro.netkms.metrics import NetKmsMetrics
+from repro.netkms.protocol import (
+    Capabilities,
+    CapabilitiesOk,
+    Consume,
+    ConsumeOk,
+    Error,
+    Hello,
+    Message,
+    ProtocolError,
+    Release,
+    ReleaseOk,
+    Reserve,
+    ReserveOk,
+    Status,
+    StatusOk,
+    Welcome,
+)
+
+Pair = Tuple[str, str]
+
+#: Largest reservation one request may claim; bounds both the store impact
+#: of a hostile RESERVE and the size of the CONSUME_OK reply frame.
+MAX_RESERVE_BITS = 1 << 15
+
+
+class NetworkKmsServer:
+    """Serve ``stores`` (pair -> :class:`KeyStore`) over asyncio TCP.
+
+    Usage::
+
+        server = NetworkKmsServer({pair: store}, port=0)
+        await server.start()          # binds; server.port is now real
+        ...                           # clients connect / request
+        await server.stop()
+
+    or as an async context manager.  ``versions`` narrows the protocol
+    versions offered (the interop tests run v1-only and v2-capable servers
+    against v1-only and v2-capable clients in both directions).
+    """
+
+    def __init__(
+        self,
+        stores: Mapping[Pair, KeyStore],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        versions: Iterable[int] = protocol.SUPPORTED_VERSIONS,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        max_reserve_bits: int = MAX_RESERVE_BITS,
+        server_id: str = "kme",
+        now: Optional[Callable[[], float]] = None,
+    ):
+        self.stores: Dict[Pair, KeyStore] = {
+            (str(a), str(b)): store for (a, b), store in stores.items()
+        }
+        if not self.stores:
+            raise ValueError("the server needs at least one pair's store")
+        self.versions = tuple(sorted(set(versions)))
+        unknown = set(self.versions) - set(protocol.SUPPORTED_VERSIONS)
+        if not self.versions or unknown:
+            raise ValueError(f"unsupported protocol versions: {sorted(unknown)}")
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.max_reserve_bits = max_reserve_bits
+        self.server_id = server_id
+        self.metrics = NetKmsMetrics()
+        #: Store timestamps for reserve/consume accounting; injectable so a
+        #: simulated-clock service can keep its stores' EWMA in sim time.
+        self._now = now or time.monotonic
+        self._server: Optional[asyncio.base_events.Server] = None
+        #: Held reservations by (pair, reservation id); the id space is the
+        #: store's own, so release/consume validate against live state.
+        self._held: Dict[Tuple[Pair, int], KeyReservation] = {}
+        self._locks: Dict[Pair, asyncio.Lock] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "NetworkKmsServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._locks = {pair: asyncio.Lock() for pair in self.stores}
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.metrics = NetKmsMetrics()
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "NetworkKmsServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections_opened += 1
+        try:
+            version = await self._handshake(reader, writer)
+            if version is not None:
+                await self._serve_requests(reader, writer, version)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer went away; nothing to answer
+        finally:
+            self.metrics.connections_closed += 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # The handler is ending either way; a cancellation racing
+                # the close (event-loop teardown) must not log as a leak.
+                pass
+
+    async def _handshake(self, reader, writer) -> Optional[int]:
+        """Run the HELLO/WELCOME exchange; None means rejected (and closed)."""
+        try:
+            body = await protocol.read_frame(reader, self.max_frame_bytes)
+            hello = protocol.decode_body(body, expected_version=None)
+            if not isinstance(hello, Hello):
+                raise ProtocolError(
+                    protocol.ERR_MALFORMED,
+                    f"expected HELLO, got kind 0x{hello.KIND:02x}",
+                )
+        except ProtocolError as exc:
+            await self._send_error(writer, 0, exc, version=protocol.PROTOCOL_V1)
+            return None
+        version = protocol.negotiate(hello.min_version, hello.max_version, self.versions)
+        if version is None:
+            exc = ProtocolError(
+                protocol.ERR_VERSION,
+                f"client speaks v{hello.min_version}..v{hello.max_version}, "
+                f"server speaks {list(self.versions)}",
+            )
+            await self._send_error(writer, 0, exc, version=protocol.PROTOCOL_V1)
+            return None
+        await self._send(writer, Welcome(server_id=self.server_id), version)
+        return version
+
+    async def _serve_requests(self, reader, writer, version: int) -> None:
+        while True:
+            try:
+                body = await protocol.read_frame(reader, self.max_frame_bytes)
+            except ProtocolError as exc:
+                # The stream is out of frame sync; report and drop it.
+                await self._send_error(writer, 0, exc, version)
+                return
+            try:
+                message = protocol.decode_body(body, expected_version=version)
+                response = await self._dispatch(message, version)
+            except ProtocolError as exc:
+                request_id = _request_id_of(body)
+                await self._send_error(writer, request_id, exc, version)
+                if exc.fatal:
+                    return
+                continue
+            await self._send(writer, response, version)
+
+    async def _dispatch(self, message: Message, version: int) -> Message:
+        self.metrics.note_request(type(message).__name__)
+        if isinstance(message, Status):
+            return self._on_status(message)
+        if isinstance(message, Capabilities):
+            return self._on_capabilities(message)
+        if isinstance(message, Reserve):
+            return await self._on_reserve(message)
+        if isinstance(message, Consume):
+            return await self._on_consume(message)
+        if isinstance(message, Release):
+            return await self._on_release(message)
+        raise ProtocolError(
+            protocol.ERR_MALFORMED,
+            f"{type(message).__name__} is not a client request",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Request handlers
+    # ------------------------------------------------------------------ #
+
+    def _store_for(self, pair: Pair) -> KeyStore:
+        store = self.stores.get(pair)
+        if store is None:
+            raise ProtocolError(
+                protocol.ERR_UNKNOWN_PAIR,
+                f"no store for pair {pair[0]}--{pair[1]}",
+            )
+        return store
+
+    def _on_status(self, message: Status) -> StatusOk:
+        store = self._store_for(message.pair)
+        return StatusOk(
+            request_id=message.request_id,
+            pair=store.pair,
+            available_bits=store.available_bits,
+            reserved_bits=store.reserved_bits,
+            unreserved_bits=store.unreserved_bits,
+            low_water_bits=store.low_water_bits,
+            high_water_bits=store.high_water_bits,
+            capacity_bits=store.capacity_bits,
+            depletion_rate_millibps=int(store.depletion_rate_bps * 1000),
+        )
+
+    def _on_capabilities(self, message: Capabilities) -> CapabilitiesOk:
+        return CapabilitiesOk(
+            request_id=message.request_id,
+            min_version=self.versions[0],
+            max_version=self.versions[-1],
+            max_frame_bytes=self.max_frame_bytes,
+            max_reserve_bits=self.max_reserve_bits,
+            pairs=tuple(sorted(self.stores)),
+        )
+
+    async def _on_reserve(self, message: Reserve) -> ReserveOk:
+        started = time.perf_counter()
+        store = self._store_for(message.pair)
+        if not 0 < message.bits <= self.max_reserve_bits:
+            raise ProtocolError(
+                protocol.ERR_LIMIT,
+                f"reserve of {message.bits} bits outside (0, {self.max_reserve_bits}]",
+            )
+        async with self._locks[message.pair]:
+            try:
+                reservation = store.reserve(message.bits, now=self._now())
+            except KeyStoreExhaustedError as exc:
+                self.metrics.note_reserve(time.perf_counter() - started, granted=False)
+                raise ProtocolError(protocol.ERR_EXHAUSTED, str(exc)) from None
+            self._held[(message.pair, reservation.reservation_id)] = reservation
+        self.metrics.note_reserve(time.perf_counter() - started, granted=True)
+        return ReserveOk(
+            request_id=message.request_id,
+            reservation_id=reservation.reservation_id,
+            bits=reservation.bits,
+        )
+
+    async def _on_consume(self, message: Consume) -> ConsumeOk:
+        store = self._store_for(message.pair)
+        async with self._locks[message.pair]:
+            reservation = self._held.pop((message.pair, message.reservation_id), None)
+            if reservation is None:
+                raise ProtocolError(
+                    protocol.ERR_UNKNOWN_RESERVATION,
+                    f"no held reservation {message.reservation_id} "
+                    f"for {message.pair[0]}--{message.pair[1]}",
+                )
+            # Both endpoints' pools advance in lock-step, exactly as the
+            # in-process gateways do, so the store stays synchronised for
+            # every later consumer; the (identical) material is served once.
+            with store.consuming(reservation, now=self._now()):
+                local = store.local_pool.draw_bits(reservation.bits)
+                remote = store.remote_pool.draw_bits(reservation.bits)
+        if local != remote:
+            raise ProtocolError(protocol.ERR_INTERNAL, "store pools desynchronised")
+        key_bytes = local.to_bytes()
+        self.metrics.note_key_served(key_bytes, len(local))
+        return ConsumeOk(
+            request_id=message.request_id,
+            reservation_id=message.reservation_id,
+            key_bits=len(local),
+            key_bytes=key_bytes,
+        )
+
+    async def _on_release(self, message: Release) -> ReleaseOk:
+        store = self._store_for(message.pair)
+        async with self._locks[message.pair]:
+            reservation = self._held.pop((message.pair, message.reservation_id), None)
+            if reservation is None:
+                raise ProtocolError(
+                    protocol.ERR_UNKNOWN_RESERVATION,
+                    f"no held reservation {message.reservation_id} "
+                    f"for {message.pair[0]}--{message.pair[1]}",
+                )
+            store.release(reservation)
+        return ReleaseOk(
+            request_id=message.request_id,
+            reservation_id=message.reservation_id,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _send(self, writer, message: Message, version: int) -> None:
+        writer.write(protocol.encode_frame(message, version))
+        await writer.drain()
+
+    async def _send_error(
+        self, writer, request_id: int, exc: ProtocolError, version: int
+    ) -> None:
+        self.metrics.note_error(exc.code)
+        error = Error(request_id=request_id, code=exc.code, detail=exc.detail)
+        try:
+            await self._send(writer, error, version)
+        except ConnectionError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "up" if self._server is not None else "down"
+        return (
+            f"NetworkKmsServer({len(self.stores)} pairs on "
+            f"{self.host}:{self.port}, {state})"
+        )
+
+
+def _request_id_of(body: bytes) -> int:
+    """Best-effort request id from a frame that failed to decode."""
+    if len(body) >= 6:
+        return int.from_bytes(body[2:6], "little")
+    return 0

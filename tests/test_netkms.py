@@ -1,0 +1,599 @@
+"""Tests for the networked key-delivery front end (repro.netkms).
+
+Four layers of contract:
+
+* the message codec round-trips every kind at every version, and rejects
+  malformed bodies with typed errors before any output-sized allocation;
+* version negotiation interoperates in both directions (v1 client against
+  a v2 server, v2 client against a v1 server) without flag-day breaks;
+* hostile frames (truncated header, absurd length prefix, unknown version,
+  unknown kind) each close the connection with a typed protocol error and
+  leave the server serving other clients;
+* concurrent clients hammering one pair's store never receive overlapping
+  key material — the reservation contract, proven end to end.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core import wire
+from repro.kms.store import KeyStore
+from repro.netkms import protocol
+from repro.netkms.client import NetworkKmsClient
+from repro.netkms.protocol import (
+    Capabilities,
+    CapabilitiesOk,
+    Consume,
+    ConsumeOk,
+    Error,
+    Hello,
+    ProtocolError,
+    Release,
+    ReleaseOk,
+    Reserve,
+    ReserveOk,
+    ServerError,
+    Status,
+    StatusOk,
+    Welcome,
+    decode_body,
+    encode_frame,
+    negotiate,
+)
+from repro.netkms.server import NetworkKmsServer
+from repro.util.bits import BitString
+
+PAIR = ("alice", "bob")
+
+
+def run(coro):
+    """Drive one async test body (no pytest-asyncio dependency)."""
+    return asyncio.run(coro)
+
+
+def counter_material(bits):
+    """Key material where every 64-bit word is a unique counter.
+
+    Served chunks drawn from a store filled with this can be checked for
+    overlap exactly: a counter appearing in two chunks would mean two
+    clients received the same key bits.
+    """
+    return BitString.from_bytes(
+        b"".join(struct.pack(">Q", i) for i in range(bits // 64))
+    )
+
+
+def make_store(bits=1 << 15, **kwargs):
+    kwargs.setdefault("capacity_bits", max(bits, 1 << 20))
+    store = KeyStore(PAIR, **kwargs)
+    store.deposit(counter_material(bits))
+    return store
+
+
+async def started_server(stores=None, **kwargs):
+    server = NetworkKmsServer(stores or {PAIR: make_store()}, port=0, **kwargs)
+    await server.start()
+    return server
+
+
+# --------------------------------------------------------------------------- #
+# Codec round-trips
+# --------------------------------------------------------------------------- #
+
+
+class TestCodecRoundTrips:
+    MESSAGES = [
+        Hello(min_version=1, max_version=2, client_id="sae-7"),
+        Welcome(server_id="kme-1"),
+        Error(request_id=9, code=protocol.ERR_EXHAUSTED, detail="dry"),
+        Status(request_id=3, pair=PAIR),
+        StatusOk(
+            request_id=3,
+            pair=PAIR,
+            available_bits=1000,
+            reserved_bits=128,
+            unreserved_bits=872,
+            low_water_bits=100,
+            high_water_bits=500,
+            capacity_bits=2000,
+            depletion_rate_millibps=12345,
+        ),
+        Capabilities(request_id=4),
+        CapabilitiesOk(
+            request_id=4,
+            min_version=1,
+            max_version=2,
+            max_frame_bytes=1 << 16,
+            max_reserve_bits=1 << 15,
+            pairs=(PAIR, ("carol", "dave")),
+        ),
+        Reserve(request_id=5, pair=PAIR, bits=1024),
+        ReserveOk(request_id=5, reservation_id=17, bits=1024),
+        Consume(request_id=6, pair=PAIR, reservation_id=17),
+        ConsumeOk(request_id=6, reservation_id=17, key_bits=24, key_bytes=b"abc"),
+        Release(request_id=7, pair=PAIR, reservation_id=18),
+        ReleaseOk(request_id=7, reservation_id=18),
+    ]
+
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: type(m).__name__)
+    @pytest.mark.parametrize("version", protocol.SUPPORTED_VERSIONS)
+    def test_round_trip(self, message, version):
+        body = message.encode(version)
+        expected = None if isinstance(message, (Hello, Welcome)) else version
+        decoded = decode_body(body, expected_version=expected)
+        if isinstance(message, StatusOk) and version < protocol.PROTOCOL_V2:
+            # The v2-only field does not travel at v1.
+            assert decoded.depletion_rate_millibps is None
+            message = StatusOk(**{**message.__dict__, "depletion_rate_millibps": None})
+        assert decoded == message
+
+    def test_kinds_live_inside_the_reserved_wire_range(self):
+        for message in self.MESSAGES:
+            assert wire.KIND_NETKMS_FIRST <= message.KIND <= wire.KIND_NETKMS_LAST
+
+    def test_frame_prefix_matches_body_length(self):
+        frame = encode_frame(Status(pair=PAIR), protocol.PROTOCOL_V1)
+        (length,) = struct.unpack("<I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_hello_always_encodes_at_the_floor_version(self):
+        body = Hello(min_version=2, max_version=2).encode(protocol.PROTOCOL_V2)
+        assert body[1] == protocol.PROTOCOL_V1
+
+
+class TestMalformedBodies:
+    def decode_error(self, body, expected_version=1):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_body(body, expected_version=expected_version)
+        return excinfo.value
+
+    def test_empty_and_headerless_bodies(self):
+        for body in (b"", b"\x23"):
+            assert self.decode_error(body).code == protocol.ERR_MALFORMED
+
+    def test_unknown_kind(self):
+        body = bytes([0x3F, 1]) + b"\x00" * 4
+        assert self.decode_error(body).code == protocol.ERR_UNKNOWN_KIND
+
+    def test_version_mismatch(self):
+        body = Status(pair=PAIR).encode(2)
+        assert self.decode_error(body, expected_version=1).code == protocol.ERR_VERSION
+
+    def test_truncated_inside_request_id(self):
+        body = bytes([protocol.KIND_STATUS, 1, 0, 0])
+        assert self.decode_error(body).code == protocol.ERR_MALFORMED
+
+    def test_string_length_exceeding_payload(self):
+        body = bytes([protocol.KIND_STATUS, 1]) + b"\x00" * 4 + bytes([200]) + b"ab"
+        error = self.decode_error(body)
+        assert error.code == protocol.ERR_MALFORMED
+        assert "pair[0]" in error.detail
+
+    def test_trailing_garbage_rejected(self):
+        body = Status(pair=PAIR).encode(1) + b"\x00"
+        assert self.decode_error(body).code == protocol.ERR_MALFORMED
+
+    def test_v2_field_is_trailing_garbage_at_v1(self):
+        ok = StatusOk(pair=PAIR, depletion_rate_millibps=5)
+        v2_body = ok.encode(2)
+        v1_equivalent = bytearray(ok.encode(1))
+        assert len(v2_body) > len(v1_equivalent)
+        v1_equivalent[1] = 1
+        hybrid = bytes(v1_equivalent) + v2_body[len(v1_equivalent) :]
+        assert self.decode_error(hybrid).code == protocol.ERR_MALFORMED
+
+    def test_varint_overflow_and_overlength(self):
+        prefix = bytes([protocol.KIND_RESERVE, 1]) + b"\x00" * 4 + b"\x00\x00"
+        overlong = prefix + b"\xff" * 10 + b"\x01"
+        assert self.decode_error(overlong).code == protocol.ERR_MALFORMED
+        overflow = prefix + b"\xff" * 9 + b"\x7f"
+        assert self.decode_error(overflow).code == protocol.ERR_MALFORMED
+
+    def test_capabilities_pair_count_validated_against_payload(self):
+        body = bytes([protocol.KIND_CAPABILITIES_OK, 1]) + b"\x00" * 4
+        body += bytes([1, 2]) + b"\x10" + b"\x10" + bytes([255, 255, 3])
+        error = self.decode_error(body)
+        assert error.code == protocol.ERR_MALFORMED
+        assert "pair count" in error.detail
+
+    def test_hello_with_empty_version_range(self):
+        body = Hello(min_version=2, max_version=2).encode()
+        mutated = bytearray(body)
+        mutated[6] = 3  # min > max
+        assert self.decode_error(bytes(mutated), None).code == protocol.ERR_MALFORMED
+
+    def test_consume_ok_key_bytes_validated(self):
+        with pytest.raises(ValueError):
+            ConsumeOk(key_bits=16, key_bytes=b"abc").encode(1)
+
+
+class TestNegotiation:
+    def test_picks_highest_common(self):
+        assert negotiate(1, 2, (1, 2)) == 2
+        assert negotiate(1, 1, (1, 2)) == 1
+        assert negotiate(1, 2, (1,)) == 1
+        assert negotiate(2, 9, (1, 2)) == 2
+
+    def test_disjoint_ranges(self):
+        assert negotiate(3, 9, (1, 2)) is None
+        assert negotiate(5, 3, (1, 2)) is None
+
+
+# --------------------------------------------------------------------------- #
+# Version interop over real connections
+# --------------------------------------------------------------------------- #
+
+
+class TestVersionInterop:
+    def interop(self, server_versions, client_versions):
+        async def scenario():
+            server = await started_server(versions=server_versions)
+            try:
+                client = NetworkKmsClient(
+                    "127.0.0.1", server.port, versions=client_versions
+                )
+                async with client:
+                    status = await client.status(PAIR)
+                    key = await client.get_key(PAIR, bits=256)
+                    return client.version, status, key
+            finally:
+                await server.stop()
+
+        return run(scenario())
+
+    def test_v1_client_v2_server(self):
+        version, status, key = self.interop((1, 2), (1,))
+        assert version == 1
+        assert status.depletion_rate_millibps is None
+        assert key.key_bits == 256
+
+    def test_v2_client_v1_server(self):
+        version, status, key = self.interop((1,), (1, 2))
+        assert version == 1
+        assert status.depletion_rate_millibps is None
+        assert key.key_bits == 256
+
+    def test_v2_both_sides_carries_the_new_field(self):
+        version, status, key = self.interop((1, 2), (1, 2))
+        assert version == 2
+        assert status.depletion_rate_millibps is not None
+        assert key.key_bits == 256
+
+    def test_disjoint_ranges_rejected_with_typed_error(self):
+        async def scenario():
+            server = await started_server(versions=(1,))
+            try:
+                client = NetworkKmsClient("127.0.0.1", server.port, versions=(2,))
+                with pytest.raises(ServerError) as excinfo:
+                    await client.connect()
+                await client.close()
+                return excinfo.value, server.metrics.report()
+            finally:
+                await server.stop()
+
+        error, report = run(scenario())
+        assert error.code == protocol.ERR_VERSION
+        assert report.protocol_errors.get("version-mismatch") == 1
+
+
+# --------------------------------------------------------------------------- #
+# Hostile frames against a live server
+# --------------------------------------------------------------------------- #
+
+
+class TestHostileFrames:
+    def raw_exchange(self, payload, handshake_first=False):
+        """Write raw bytes at a live server; return (error, eof, server_ok).
+
+        ``error`` is the decoded ERROR frame the server answered with (None
+        when it closed without one), ``eof`` is whether the connection was
+        closed, and ``server_ok`` is whether a well-behaved client still
+        gets service afterwards — the no-exception-leak check.
+        """
+
+        async def scenario():
+            server = await started_server()
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                if handshake_first:
+                    writer.write(encode_frame(Hello(), protocol.PROTOCOL_V1))
+                    await writer.drain()
+                    await protocol.read_frame(reader)  # WELCOME
+                writer.write(payload)
+                await writer.drain()
+                writer.write_eof()
+                error = None
+                # Pre-negotiation rejections travel at the v1 floor; after a
+                # handshake the server answers at the negotiated version.
+                error_version = server.versions[-1] if handshake_first else None
+                try:
+                    body = await asyncio.wait_for(protocol.read_frame(reader), 2.0)
+                    decoded = decode_body(body, expected_version=error_version)
+                    error = decoded if isinstance(decoded, Error) else None
+                except (asyncio.IncompleteReadError, ProtocolError):
+                    pass
+                eof = await asyncio.wait_for(reader.read(), 2.0) == b""
+                writer.close()
+                await writer.wait_closed()
+
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    follow_up = await client.status(PAIR)
+                return error, eof, follow_up.available_bits > 0
+            finally:
+                await server.stop()
+
+        return run(scenario())
+
+    def test_truncated_header_closes_quietly(self):
+        error, eof, server_ok = self.raw_exchange(b"\x02\x00")
+        assert error is None and eof and server_ok
+
+    def test_absurd_length_prefix_rejected_before_allocation(self):
+        error, eof, server_ok = self.raw_exchange(struct.pack("<I", 0xFFFFFFF0))
+        assert error is not None and error.code == protocol.ERR_OVERSIZED
+        assert eof and server_ok
+
+    def test_unknown_version_rejected(self):
+        body = Status(pair=PAIR).encode(1)
+        mutated = bytearray(body)
+        mutated[1] = 9
+        frame = struct.pack("<I", len(mutated)) + bytes(mutated)
+        error, eof, server_ok = self.raw_exchange(frame, handshake_first=True)
+        assert error is not None and error.code == protocol.ERR_VERSION
+        assert eof and server_ok
+
+    def test_unknown_kind_rejected(self):
+        body = bytes([0x3E, protocol.SUPPORTED_VERSIONS[-1]]) + b"\x00" * 4
+        frame = struct.pack("<I", len(body)) + body
+        error, eof, server_ok = self.raw_exchange(frame, handshake_first=True)
+        assert error is not None and error.code == protocol.ERR_UNKNOWN_KIND
+        assert eof and server_ok
+
+    def test_unsupported_hello_range_rejected(self):
+        frame = encode_frame(Hello(min_version=9, max_version=12), 1)
+        error, eof, server_ok = self.raw_exchange(frame)
+        assert error is not None and error.code == protocol.ERR_VERSION
+        assert eof and server_ok
+
+    def test_request_level_errors_keep_the_connection(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ServerError) as unknown_pair:
+                        await client.status(("nobody", "here"))
+                    with pytest.raises(ServerError) as over_limit:
+                        await client.reserve(PAIR, server.max_reserve_bits + 1)
+                    # Same connection still serves.
+                    key = await client.get_key(PAIR, bits=128)
+                    return unknown_pair.value, over_limit.value, key
+            finally:
+                await server.stop()
+
+        unknown_pair, over_limit, key = run(scenario())
+        assert unknown_pair.code == protocol.ERR_UNKNOWN_PAIR
+        assert over_limit.code == protocol.ERR_LIMIT
+        assert key.key_bits == 128
+
+
+# --------------------------------------------------------------------------- #
+# Store semantics over the wire
+# --------------------------------------------------------------------------- #
+
+
+class TestStoreSemantics:
+    def test_reserve_consume_release_cycle(self):
+        async def scenario():
+            store = make_store(bits=4096)
+            server = await started_server({PAIR: store})
+            try:
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    first = await client.reserve(PAIR, 1024)
+                    second = await client.reserve(PAIR, 1024)
+                    assert store.reserved_bits == 2048
+                    await client.release(second)
+                    assert store.reserved_bits == 1024
+                    served = await client.consume(first)
+                    assert store.reserved_bits == 0
+                    with pytest.raises(ServerError) as stale:
+                        await client.consume(first)
+                    return served, stale.value, store
+            finally:
+                await server.stop()
+
+        served, stale, store = run(scenario())
+        assert served.key_bits == 1024
+        assert stale.code == protocol.ERR_UNKNOWN_RESERVATION
+        assert store.available_bits == 4096 - 1024
+        # Both pools advanced in lock-step; the store stays synchronised.
+        assert store.local_pool.available_bits == store.remote_pool.available_bits
+
+    def test_exhaustion_is_a_typed_request_error(self):
+        async def scenario():
+            server = await started_server({PAIR: make_store(bits=1024)})
+            try:
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    await client.get_key(PAIR, bits=1024)
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.get_key(PAIR, bits=1024)
+                    return excinfo.value, server.metrics
+            finally:
+                await server.stop()
+
+        error, metrics = run(scenario())
+        assert error.code == protocol.ERR_EXHAUSTED
+        assert metrics.reservations_denied == 1
+        assert metrics.keys_served == 1
+
+    def test_served_material_is_the_stores_fifo_prefix(self):
+        async def scenario():
+            server = await started_server({PAIR: make_store(bits=4096)})
+            try:
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    return [await client.get_key(PAIR, bits=512) for _ in range(3)]
+            finally:
+                await server.stop()
+
+        served = run(scenario())
+        expected = counter_material(4096).to_bytes()
+        assert b"".join(key.key_bytes for key in served) == expected[: 3 * 64]
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency: the no-overlap guarantee, end to end
+# --------------------------------------------------------------------------- #
+
+
+class TestConcurrentClients:
+    N_CLIENTS = 8
+    REQUESTS_EACH = 6
+    BITS = 1024
+
+    def hammer(self, supply_bits):
+        """All clients hammer one pair; returns (served chunks, denials)."""
+
+        async def one_client(port, served, denials):
+            async with NetworkKmsClient("127.0.0.1", port) as client:
+                for _ in range(self.REQUESTS_EACH):
+                    try:
+                        key = await client.get_key(PAIR, bits=self.BITS)
+                    except ServerError as exc:
+                        assert exc.code == protocol.ERR_EXHAUSTED
+                        denials.append(exc)
+                    else:
+                        served.append(key.key_bytes)
+
+        async def scenario():
+            server = await started_server({PAIR: make_store(bits=supply_bits)})
+            try:
+                served, denials = [], []
+                await asyncio.gather(
+                    *(
+                        one_client(server.port, served, denials)
+                        for _ in range(self.N_CLIENTS)
+                    )
+                )
+                return served, denials, server.metrics
+            finally:
+                await server.stop()
+
+        return run(scenario())
+
+    def test_no_two_clients_receive_overlapping_material(self):
+        total = self.N_CLIENTS * self.REQUESTS_EACH * self.BITS
+        served, denials, metrics = self.hammer(supply_bits=total)
+        assert not denials
+        assert len(served) == self.N_CLIENTS * self.REQUESTS_EACH
+        counters = [
+            word
+            for chunk in served
+            for (word,) in struct.iter_unpack(">Q", chunk)
+        ]
+        assert len(counters) == len(set(counters)), (
+            "two clients received overlapping key material"
+        )
+        assert sorted(counters) == list(range(total // 64))
+        assert metrics.fatal_errors == 0
+
+    def test_oversubscribed_store_denies_exactly_the_shortfall(self):
+        demands = self.N_CLIENTS * self.REQUESTS_EACH
+        supply = (demands // 2) * self.BITS
+        served, denials, _metrics = self.hammer(supply_bits=supply)
+        assert len(served) == demands // 2
+        assert len(denials) == demands - demands // 2
+        counters = [
+            word
+            for chunk in served
+            for (word,) in struct.iter_unpack(">Q", chunk)
+        ]
+        assert len(counters) == len(set(counters))
+
+    def test_pipelined_requests_on_one_connection(self):
+        async def scenario():
+            server = await started_server({PAIR: make_store(bits=1 << 15)})
+            try:
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    keys = await asyncio.gather(
+                        *(client.get_key(PAIR, bits=256) for _ in range(16))
+                    )
+                    return [key.key_bytes for key in keys]
+            finally:
+                await server.stop()
+
+        chunks = run(scenario())
+        counters = [
+            word for chunk in chunks for (word,) in struct.iter_unpack(">Q", chunk)
+        ]
+        assert len(counters) == len(set(counters))
+
+
+# --------------------------------------------------------------------------- #
+# Facade wiring and metrics
+# --------------------------------------------------------------------------- #
+
+
+class TestFacadeAndMetrics:
+    def test_mesh_kms_serve_network(self):
+        from repro import QKDSystem
+        from repro.kms import KmsConfig
+
+        async def scenario():
+            mesh = QKDSystem(seed=11).mesh(n_endpoints=3, n_relays=4)
+            service = mesh.kms(config=KmsConfig(gateway_pairs=(PAIR_MESH,)))
+            store = service.stores[PAIR_MESH]
+            store.deposit(counter_material(4096))
+            server = service.serve_network(port=0)
+            async with server:
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    capabilities = await client.capabilities()
+                    status = await client.status(PAIR_MESH)
+                    key = await client.get_key(PAIR_MESH, bits=512)
+            return capabilities, status, key, store
+
+        PAIR_MESH = ("endpoint-0", "endpoint-1")
+        capabilities, status, key, store = run(scenario())
+        assert PAIR_MESH in capabilities.pairs
+        assert status.available_bits >= 4096
+        assert key.key_bits == 512
+        assert store.statistics.bits_consumed >= 512
+
+    def test_metrics_report_shape(self):
+        async def scenario():
+            server = await started_server()
+            try:
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    await client.capabilities()
+                    await client.get_key(PAIR, bits=256)
+                    await client.get_key(PAIR, bits=256)
+                return server.metrics.report()
+            finally:
+                await server.stop()
+
+        report = run(scenario())
+        assert report.requests == 5  # 1 caps + 2 x (reserve + consume)
+        assert report.requests_by_kind == {
+            "Capabilities": 1,
+            "Reserve": 2,
+            "Consume": 2,
+        }
+        assert report.keys_served == 2
+        assert report.key_bits_served == 512
+        assert report.reservations_granted == 2
+        assert report.requests_per_second > 0
+        assert (
+            report.reserve_latency_p50_seconds <= report.reserve_latency_p99_seconds
+        )
+        assert len(report.served_digest) == 64
+
+    def test_served_digest_is_order_independent(self):
+        from repro.netkms.metrics import NetKmsMetrics
+
+        chunks = [bytes([i]) * 16 for i in range(8)]
+        forward, backward = NetKmsMetrics(), NetKmsMetrics()
+        for chunk in chunks:
+            forward.note_key_served(chunk, len(chunk) * 8)
+        for chunk in reversed(chunks):
+            backward.note_key_served(chunk, len(chunk) * 8)
+        assert forward.served_digest() == backward.served_digest()
