@@ -1,0 +1,200 @@
+"""E17 (hot path) — aggregate epoch throughput of the lane engine.
+
+A metro mesh replenishes key material in short homogeneous epochs across the
+whole fleet at once, which is the worst case for the
+:class:`~repro.runtime.farm.LinkFarm` process backend: its workers are
+stateless, so every epoch pays pool spawn, per-job pickling *and* fresh link
+construction, because no worker can hold a link's protocol state between
+``farm.run`` calls.  The lane engine (:mod:`repro.lanes`) holds the entire
+fleet in-process and runs each epoch as one ``(n_links, n_slots)`` numpy
+batch program — construction happens once, and per-epoch cost is just the
+batch itself.  This benchmark models that replenishment cadence directly:
+``BENCH_E17_EPOCHS`` epochs of one Qframe (4096 slots) per link, swept over
+fleet sizes, reporting **aggregate slots per second**.
+
+Arms:
+
+* **lanes** — one persistent :class:`LaneEngine`, ``run_slots`` per epoch;
+* **farm** — one ``LinkFarm(backend="process").run`` per epoch with that
+  epoch's fresh jobs, exactly the :class:`ReplenishmentScheduler` montecarlo
+  cadence (per-epoch seeds, links rebuilt in the workers each time);
+* **inline** — the same persistent fleet run sequentially one link at a
+  time through ``QKDLink.run_slots``; not part of the gate, but it is the
+  bit-identity reference: the lane arm's sifted streams must match it
+  byte for byte.
+
+Assertions:
+
+* **bit-identity** (always) — for every fleet size, each link's sifted
+  stream (``engine.pending_sifted_key``) and cumulative report are
+  byte-identical between the lane engine and inline sequential execution;
+* **throughput** — at the 64-lane sweep point the lane engine must beat the
+  per-epoch process farm by at least ``BENCH_E17_MIN_SPEEDUP`` (default
+  3.0) in aggregate slots/s.  ``BENCH_E17_REQUIRE_SPEEDUP=0`` disables the
+  gate (what the CI smoke job and the nightly trajectory do on shared
+  runners).
+
+``BENCH_E17_SLOTS`` resizes the epoch, ``BENCH_E17_MAX_LANES`` caps the
+sweep for smoke runs, and ``BENCH_E17_WORKERS`` (default 4) sizes the farm
+arm's pool — the default keeps the pool genuinely engaged even on a 1-CPU
+host, where the farm's own ``workers=None`` sizing would silently degrade
+to an inline loop and stop exercising the backend under test.  With
+``BENCH_JSON_DIR`` set the table lands in
+``BENCH_bench_e17_lane_throughput.json`` for the perf-trajectory tooling.
+"""
+
+import hashlib
+import os
+import time
+from dataclasses import replace
+
+from benchmarks.conftest import float_env, int_env, run_once
+from repro.lanes import LaneEngine
+from repro.link.qkd_link import LinkParameters, QKDLink
+from repro.optics.channel import ChannelParameters
+from repro.runtime.farm import LinkFarm
+from repro.util.rng import DeterministicRNG
+
+EPOCH_SLOTS = int_env("BENCH_E17_SLOTS", 4096, minimum=1)  # one Qframe
+EPOCHS = int_env("BENCH_E17_EPOCHS", 8, minimum=1)
+MAX_LANES = int_env("BENCH_E17_MAX_LANES", 256, minimum=1)
+LANE_SWEEP = tuple(n for n in (8, 64, 256) if n <= MAX_LANES) or (MAX_LANES,)
+#: The sweep point the speedup gate reads (the ISSUE's 64-lane criterion).
+GATE_LANES = 64 if 64 in LANE_SWEEP else LANE_SWEEP[-1]
+WORKERS = int_env("BENCH_E17_WORKERS", 4, minimum=1)
+MIN_SPEEDUP = float_env("BENCH_E17_MIN_SPEEDUP", 3.0)
+#: Timed repetitions per arm; the fastest is reported, which keeps a
+#: single-shot scheduling hiccup on a busy host from tripping the gate.
+REPS = int_env("BENCH_E17_REPS", 2, minimum=1)
+
+
+def _parameters():
+    return LinkParameters(
+        channel=ChannelParameters.for_distance(10.0), slots_per_batch=EPOCH_SLOTS
+    )
+
+
+def _fleet_jobs(n_lanes):
+    """The persistent fleet the lane and inline arms share."""
+    return LinkFarm.jobs(
+        n_lanes, EPOCH_SLOTS, parameters=_parameters(), rng=DeterministicRNG(17)
+    )
+
+
+def _link_digest(link):
+    """Byte-level digest of one link's sifted stream and cumulative stats."""
+    alice, bob = link.engine.pending_sifted_key
+    digest = hashlib.sha256()
+    digest.update(str(alice).encode())
+    digest.update(str(bob).encode())
+    stats = link.engine.statistics
+    digest.update(
+        repr((stats.sifted_bits, stats.sifted_errors, stats.slots_processed)).encode()
+    )
+    return digest.hexdigest()
+
+
+def _run_lane_fleet(jobs):
+    engine = LaneEngine(jobs)
+    started = time.perf_counter()
+    for _ in range(EPOCHS):
+        engine.run_slots(EPOCH_SLOTS, flush=False)
+    elapsed = time.perf_counter() - started
+    return elapsed, [_link_digest(link) for link in engine.links]
+
+
+def _run_inline_fleet(jobs):
+    links = [
+        QKDLink(job.parameters, DeterministicRNG(job.seed), name=job.name)
+        for job in jobs
+    ]
+    started = time.perf_counter()
+    for _ in range(EPOCHS):
+        for link in links:
+            link.run_slots(EPOCH_SLOTS, flush=False)
+    elapsed = time.perf_counter() - started
+    return elapsed, [_link_digest(link) for link in links]
+
+
+def _run_farm_epochs(n_lanes):
+    """The scheduler cadence: fresh per-epoch jobs through the process pool."""
+    farm = LinkFarm(workers=WORKERS, backend="process")
+    root = DeterministicRNG(17)
+    started = time.perf_counter()
+    for epoch in range(EPOCHS):
+        jobs = [
+            replace(
+                job,
+                seed=root.fork_labeled(f"epoch/{epoch}/{job.name}").seed,
+                flush=False,
+            )
+            for job in _fleet_jobs(n_lanes)
+        ]
+        runs = farm.run(jobs)
+        assert len(runs) == n_lanes
+    return time.perf_counter() - started
+
+
+def _best(fn, *args):
+    results = [fn(*args) for _ in range(REPS)]
+    if isinstance(results[0], tuple):
+        digests = {tuple(r[1]) for r in results}
+        assert len(digests) == 1, "nondeterministic sifted streams"
+        return min(r[0] for r in results), results[0][1]
+    return min(results)
+
+
+def test_e17_lane_throughput(benchmark, table):
+    def experiment():
+        rows = []
+        for n_lanes in LANE_SWEEP:
+            jobs = _fleet_jobs(n_lanes)
+            lane_s, lane_digests = _best(_run_lane_fleet, jobs)
+            inline_s, inline_digests = _run_inline_fleet(jobs)
+            assert lane_digests == inline_digests, (
+                f"lane engine diverged from sequential execution at {n_lanes} lanes"
+            )
+            farm_s = _best(_run_farm_epochs, n_lanes)
+            rows.append(
+                {
+                    "n_lanes": n_lanes,
+                    "lane_s": lane_s,
+                    "inline_s": inline_s,
+                    "farm_s": farm_s,
+                    "total_slots": n_lanes * EPOCHS * EPOCH_SLOTS,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    def rate(row, key):
+        return row["total_slots"] / row[key] if row[key] else float("inf")
+
+    table(
+        f"E17: persistent lane fleet vs per-epoch process farm "
+        f"({EPOCHS} epochs x {EPOCH_SLOTS} slots, workers={WORKERS}, "
+        "sifted streams byte-identical to inline)",
+        ["lanes", "lane s", "farm s", "inline s", "lane slots/s", "farm slots/s", "speedup"],
+        [
+            [
+                row["n_lanes"],
+                f"{row['lane_s']:.3f}",
+                f"{row['farm_s']:.3f}",
+                f"{row['inline_s']:.3f}",
+                f"{rate(row, 'lane_s') / 1e6:.2f}M",
+                f"{rate(row, 'farm_s') / 1e6:.2f}M",
+                f"{row['farm_s'] / row['lane_s']:.2f}x",
+            ]
+            for row in rows
+        ],
+    )
+
+    # Throughput gate at the 64-lane sweep point ("0" disables).
+    if os.environ.get("BENCH_E17_REQUIRE_SPEEDUP") != "0":
+        gate = next(row for row in rows if row["n_lanes"] == GATE_LANES)
+        speedup = gate["farm_s"] / gate["lane_s"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"lane engine speedup {speedup:.2f}x at {gate['n_lanes']} lanes "
+            f"is below the {MIN_SPEEDUP}x gate vs the per-epoch process farm"
+        )

@@ -19,6 +19,9 @@ Pearson and Troxel as a pure-Python simulation and protocol library:
 * :mod:`repro.runtime` — the deterministic parallel distillation runtime:
   block- and link-level scheduling across worker pools with output invariant
   under worker count.
+* :mod:`repro.lanes` — the vectorized multi-link lane engine: a fleet of
+  homogeneous-epoch links executed lock-step as one ``(n_links, n_slots)``
+  numpy batch program, bit-identical to the sequential runs.
 * :mod:`repro.kms` — continuous-operation key management: per-peer-pair key
   stores with reservation semantics, depletion-driven replenishment across
   the mesh, traffic-driven IKE rekey workloads, and failure/attack handling
@@ -43,6 +46,7 @@ from repro.kms import (
     TrafficWorkload,
     WorkloadProfile,
 )
+from repro.lanes import LaneCompatibilityError, LaneEngine
 
 __version__ = "1.0.0"
 
@@ -57,4 +61,6 @@ __all__ = [
     "SoakReport",
     "TrafficWorkload",
     "WorkloadProfile",
+    "LaneEngine",
+    "LaneCompatibilityError",
 ]

@@ -39,6 +39,7 @@ from repro.core.engine import EngineParameters
 from repro.ipsec.gateway import GatewayPair
 from repro.kms.service import KeyManagementService, KmsConfig, SoakReport
 from repro.kms.workload import TrafficWorkload, WorkloadProfile
+from repro.lanes import LaneEngine
 from repro.ipsec.packets import IPPacket
 from repro.ipsec.spd import CipherSuite, SecurityPolicy
 from repro.link.qkd_link import LinkParameters, LinkReport, QKDLink
@@ -230,6 +231,23 @@ class QKDSystem:
         )
         return MeshSystem(config=config, relays=relays)
 
+    def lanes(self, n_lanes: int, name: Optional[str] = None, **overrides) -> LaneEngine:
+        """A fleet of ``n_lanes`` identical links run as one vectorized batch.
+
+        Each lane is a full :meth:`link` with its own independent labeled
+        stream (``fork_labeled(f"lane/<name>/<index>")`` of the system seed),
+        executed lock-step by the :class:`repro.lanes.LaneEngine` — call
+        ``run_slots`` on the result.  Every lane's key material is
+        bit-identical to the equivalent sequential link.
+        """
+        config = replace(self.config, **overrides) if overrides else self.config
+        return LaneEngine.for_fleet(
+            n_lanes,
+            parameters=config.link_parameters(),
+            rng=DeterministicRNG(config.seed),
+            name_prefix=name or f"{config.name}-lane",
+        )
+
     def __repr__(self) -> str:
         return f"QKDSystem(seed={self.config.seed}, name={self.config.name!r})"
 
@@ -324,10 +342,33 @@ class MeshSystem:
 
     config: SystemConfig
     relays: TrustedRelayNetwork
+    #: Replenishment-config fields applied on top of whatever ``kms()`` is
+    #: handed; populated by :meth:`with_lanes`.
+    replenishment_overrides: dict = field(default_factory=dict)
 
     @property
     def network(self):
         return self.relays.network
+
+    def with_lanes(self, max_links_per_epoch: Optional[int] = None) -> "MeshSystem":
+        """Route replenishment epochs through the vectorized lane engine.
+
+        Switches the KMS replenishment loop to Monte-Carlo mode on the
+        ``"lanes"`` farm backend: each epoch's dispatched links execute as
+        one ``(n_links, slots_per_epoch)`` batch program instead of one
+        worker process per link.  Epoch results are bit-identical either way
+        (the lane engine consumes the same per-link labeled seeds), so this
+        only changes throughput.  ``max_links_per_epoch`` optionally caps
+        the batch width — the lever for bounding peak batch memory on very
+        wide meshes.
+        """
+        overrides: dict = {"mode": "montecarlo", "backend": "lanes"}
+        if max_links_per_epoch is not None:
+            overrides["max_links_per_epoch"] = max_links_per_epoch
+        return replace(
+            self,
+            replenishment_overrides={**self.replenishment_overrides, **overrides},
+        )
 
     def run_links_for(self, seconds: float) -> None:
         """Let every link distill pairwise key for ``seconds`` seconds."""
@@ -370,6 +411,14 @@ class MeshSystem:
         if workload is None:
             workload = TrafficWorkload(
                 WorkloadProfile.poisson(), rng.fork_labeled("workload")
+            )
+        if self.replenishment_overrides:
+            config = config or KmsConfig()
+            config = replace(
+                config,
+                replenishment=replace(
+                    config.replenishment, **self.replenishment_overrides
+                ),
             )
         return KeyManagementService(
             self.relays, config=config, workload=workload, rng=rng

@@ -45,7 +45,7 @@ from repro.core.keypool import KeyPool
 from repro.core.messages import PublicChannelLog
 from repro.core.privacy import PrivacyAmplification, PrivacyAmplificationResult
 from repro.core.randomness import RandomnessTester
-from repro.core.sifting import SiftingProtocol
+from repro.core.sifting import SiftingProtocol, SiftResult
 from repro.optics.channel import FrameResult
 from repro.pipeline import (
     DEFAULT_STAGE_PLAN,
@@ -396,18 +396,45 @@ class QKDProtocolEngine:
         Returns the outcomes of every block completed by this frame (possibly
         none, if the sifted bits are still accumulating).
         """
-        sifter = SiftingProtocol(frame_id=self._next_frame_id)
-        self._next_frame_id += 1
+        sifter = SiftingProtocol(frame_id=self.allocate_frame_id())
         sift = sifter.sift(frame)
+        return self.process_sifted(
+            sift, frame.n_slots, mean_photon_number, entangled_source
+        )
 
-        self.statistics.slots_processed += frame.n_slots
+    def allocate_frame_id(self) -> int:
+        """Claim the next sift frame id (one per processed frame).
+
+        Exposed so the lane engine can stamp its batched sift pass with the
+        same ids a sequential :meth:`process_frame` loop would have used.
+        """
+        frame_id = self._next_frame_id
+        self._next_frame_id += 1
+        return frame_id
+
+    def process_sifted(
+        self,
+        sift: "SiftResult",
+        n_slots: int,
+        mean_photon_number: float = 0.1,
+        entangled_source: bool = False,
+    ) -> List[DistillationOutcome]:
+        """Accumulate an already-sifted frame and distill completed blocks.
+
+        The second half of :meth:`process_frame`: the lane engine sifts many
+        links' frames in one batched pass (:func:`repro.core.sifting.sift_frames`)
+        and feeds each lane's :class:`SiftResult` here — the ragged per-link
+        split point.  ``n_slots`` is the transmitted slot count of the frame
+        the sift came from.
+        """
+        self.statistics.slots_processed += n_slots
         self.statistics.sifted_bits += sift.n_sifted
         self.statistics.sifted_errors += sift.error_count
 
         self._pending_alice.extend(sift.alice_key)
         self._pending_bob.extend(sift.bob_key)
         self._pending_slots += sift.n_sifted
-        self._pending_pulses_transmitted += frame.n_slots
+        self._pending_pulses_transmitted += n_slots
         self._pending_mu = mean_photon_number
         self._pending_entangled = entangled_source
 
@@ -421,6 +448,17 @@ class QKDProtocolEngine:
         if not self._pending_alice:
             return None
         return self.distill_blocks([self._pop_pending_block(partial=True)])[0]
+
+    @property
+    def pending_sifted_key(self) -> Tuple[BitString, BitString]:
+        """Both sides' sifted bits accumulated toward the next block.
+
+        The raw sifted stream as it stands between block completions —
+        what a flush would distill.  Differential tests and benchmarks use
+        it to compare execution backends byte-for-byte without paying for
+        a distillation pass.
+        """
+        return BitString(self._pending_alice), BitString(self._pending_bob)
 
     # ------------------------------------------------------------------ #
     # Distillation of one block

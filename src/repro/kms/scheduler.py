@@ -69,8 +69,13 @@ class ReplenishmentConfig:
     slots_per_epoch: int = 250_000
     #: Worker pool for the dispatch fan-out (None = one per CPU).
     workers: Optional[int] = None
-    #: Pool backend; analytic material is cheap enough for threads, real
-    #: Monte-Carlo epochs want processes.
+    #: Dispatch backend, one of :data:`repro.runtime.farm.LinkFarm.BACKENDS`.
+    #: Analytic material is cheap enough for threads; real Monte-Carlo epochs
+    #: want ``"process"``, or ``"lanes"``/``"auto"`` to run the whole epoch's
+    #: links as one vectorized lane batch (epochs are homogeneous —
+    #: ``slots_per_epoch`` slots on every dispatched link — so they are
+    #: always lane-compatible).  The analytic pad fan-out is not a link
+    #: simulation, so lane-oriented backends fall back to threads there.
     backend: str = "thread"
     #: Pairwise pads below this are always dispatched this epoch.
     pad_low_water_bits: int = 4_096
@@ -95,10 +100,23 @@ class ReplenishmentConfig:
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.backend not in LinkFarm.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {LinkFarm.BACKENDS}, got {self.backend!r}"
+            )
         if self.epoch_seconds <= 0:
             raise ValueError("epoch duration must be positive")
         if self.slots_per_epoch <= 0:
             raise ValueError("slot budget must be positive")
+
+    @property
+    def pool_backend(self) -> str:
+        """The backend for plain ``parallel_map`` fan-outs (analytic mode).
+
+        The lane engine only runs link simulations; byte-generation jobs fall
+        back to the thread pool when a lane-oriented backend is configured.
+        """
+        return self.backend if self.backend in ("process", "thread") else "thread"
 
 
 @dataclass
@@ -303,7 +321,7 @@ class ReplenishmentScheduler:
             pad_material_from_seed,
             jobs,
             workers=self.config.workers,
-            backend=self.config.backend,
+            backend=self.config.pool_backend,
         )
         for (key, _bits, detected), material in zip(yields, materials):
             report.dispatched.append(key)

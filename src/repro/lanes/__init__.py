@@ -1,0 +1,9 @@
+"""Vectorized multi-link lane engine: a mesh's epochs as one batch program.
+
+See :mod:`repro.lanes.engine` for the execution model and the bit-identity
+contract with sequential :meth:`repro.link.qkd_link.QKDLink.run_slots`.
+"""
+
+from repro.lanes.engine import LaneCompatibilityError, LaneEngine
+
+__all__ = ["LaneCompatibilityError", "LaneEngine"]

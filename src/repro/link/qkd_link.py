@@ -144,7 +144,18 @@ class QKDLink:
             flushed = self.engine.flush()
             if flushed is not None:
                 outcomes.append(flushed)
+        return self.build_report(n_slots, outcomes)
 
+    def build_report(
+        self, n_slots: int, outcomes: List[DistillationOutcome]
+    ) -> LinkReport:
+        """Assemble the run report from the engine's cumulative statistics.
+
+        Shared by :meth:`run_slots` and the lane engine
+        (:class:`repro.lanes.LaneEngine`), which drives this link's channel
+        and engine through the batched path and must emit the identical
+        report.
+        """
         stats = self.engine.statistics
         elapsed = n_slots / self.parameters.channel.pulse_rate_hz
         return LinkReport(

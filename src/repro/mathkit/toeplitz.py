@@ -75,13 +75,26 @@ class ToeplitzHash:
         self.output_bits = output_bits
         self.diagonal_bits = diagonal_bits
         self._out_mask = (1 << output_bits) - 1
-        # 8-bit window table for the carry-less multiply: _window[w] is the
-        # GF(2) polynomial product diagonal * w for every byte value w.
-        diagonal = diagonal_bits.to_int()
-        table = [0] * 256
-        for w in range(1, 256):
-            table[w] = (table[w >> 1] << 1) ^ (diagonal if w & 1 else 0)
-        self._window = table
+        self._window_table = None
+
+    @property
+    def _window(self):
+        """8-bit window table for the carry-less multiply: ``_window[w]`` is
+        the GF(2) polynomial product diagonal * w for every byte value w.
+
+        Built on first hash, not at construction: the table is a pure
+        function of the diagonal, and a privacy-amplification or
+        authentication hash is often constructed long before (or without
+        ever) being evaluated — per-epoch link fleets construct hundreds.
+        """
+        table = self._window_table
+        if table is None:
+            diagonal = self.diagonal_bits.to_int()
+            table = [0] * 256
+            for w in range(1, 256):
+                table[w] = (table[w >> 1] << 1) ^ (diagonal if w & 1 else 0)
+            self._window_table = table
+        return table
 
     # ------------------------------------------------------------------ #
 

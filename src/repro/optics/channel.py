@@ -27,13 +27,36 @@ from typing import Optional
 
 import numpy as np
 
-from repro.optics.detector import DetectorParameters, GatedAPDPair
+from repro.optics.detector import (
+    DetectorParameters,
+    GatedAPDPair,
+    apply_afterpulse,
+    combine_clicks,
+    signal_click_probability,
+)
 from repro.optics.entangled import EntangledPairSource, EntangledSourceParameters
 from repro.optics.fiber import OpticalPath
-from repro.optics.interferometer import InterferometerParameters, MachZehnderPair
-from repro.optics.source import SourceParameters, WeakCoherentSource
-from repro.optics.timing import BrightPulseFraming, FramingParameters
+from repro.optics.interferometer import (
+    InterferometerParameters,
+    MachZehnderPair,
+    detector1_probability_map,
+    phase_delta,
+)
+from repro.optics.source import SourceParameters, WeakCoherentSource, modulator_phase
+from repro.optics.timing import BrightPulseFraming, FramingParameters, frame_layout
 from repro.util.rng import DeterministicRNG
+
+
+class LaneCompatibilityError(ValueError):
+    """Raised when a set of links cannot share one lane batch.
+
+    The lane engine runs every link's physics as a single ``(n_links,
+    n_slots)`` array program, which requires the links to agree on the batch
+    *shape*: same slot count per call, same Qframe size, and a weak-coherent
+    source on every lane (the entangled heralding path has a different draw
+    structure).  Everything else — distance, loss, visibility, dark counts,
+    attack presence — may vary per lane.
+    """
 
 
 @dataclass
@@ -202,12 +225,20 @@ class FrameResult:
         """
         if self._summary is not None:
             return
+        # One pass over the masks: the usable/sifted masks feed three of the
+        # five summaries, so computing each summary through its property
+        # would rebuild them repeatedly — measurable at lane-engine frame
+        # rates (hundreds of small frames per epoch).
+        usable = self.bob_click & ~self.bob_double
+        sifted = usable & (self.alice_basis == self.bob_basis)
         self._summary = {
-            "n_slots": self.n_slots,
-            "n_multi_photon": self.n_multi_photon,
-            "n_detected": self.n_detected,
-            "n_sifted": self.n_sifted,
-            "n_sifted_errors": self.n_sifted_errors,
+            "n_slots": int(self.alice_basis.shape[0]),
+            "n_multi_photon": int(np.count_nonzero(self.alice_photons >= 2)),
+            "n_detected": int(np.count_nonzero(usable)),
+            "n_sifted": int(np.count_nonzero(sifted)),
+            "n_sifted_errors": int(
+                np.count_nonzero(self.alice_value[sifted] != self.bob_value[sifted])
+            ),
         }
         self.alice_basis = None
         self.alice_value = None
@@ -438,3 +469,190 @@ class QuantumChannel:
             f"path={self.parameters.path.loss_db:.1f} dB, "
             f"expected_qber={self.expected_qber():.3f})"
         )
+
+
+# ---------------------------------------------------------------------- #
+# Lane-batched transmission (the leading-link-axis path)
+# ---------------------------------------------------------------------- #
+
+
+def check_lane_channels(channels) -> None:
+    """Validate that ``channels`` can share one lane batch, or raise.
+
+    Raises :class:`LaneCompatibilityError` naming the offending lane when a
+    channel uses the entangled source or disagrees on the Qframe size.
+    """
+    if not channels:
+        raise LaneCompatibilityError("a lane batch needs at least one channel")
+    for index, channel in enumerate(channels):
+        if channel.parameters.is_entangled:
+            raise LaneCompatibilityError(
+                f"lane {index} uses the entangled-pair source; the lane engine "
+                "only batches weak-coherent links (run entangled links "
+                "sequentially or on the process backend)"
+            )
+    frame_sizes = {c.parameters.framing.slots_per_frame for c in channels}
+    if len(frame_sizes) > 1:
+        raise LaneCompatibilityError(
+            "lanes disagree on slots_per_frame "
+            f"({sorted(frame_sizes)}); all lanes of a batch must share the "
+            "Qframe size so the slot-to-frame layout can be computed once"
+        )
+
+
+def transmit_lanes(channels, n_slots: int, attacks=None):
+    """Transmit ``n_slots`` trigger slots on every channel at once.
+
+    This is :meth:`QuantumChannel.transmit` with a leading **link axis**: the
+    per-slot physics — phase encoding, interference, click probabilities,
+    click/double logic — runs once over ``(n_links, n_slots)`` arrays, with
+    per-lane parameters (transmittance, visibility, per-photon detection
+    probability, dark probability) broadcast down axis 0 as ``(n_links, 1)``
+    columns.  Random draws are the one thing that is *not* batched across
+    lanes: each lane's numpy ``Generator`` receives exactly the call sequence
+    of the sequential path — per draw site, a loop over lanes fills that
+    site's ``(n_links, n_slots)`` array one row at a time — so every lane's
+    bitstream is bit-identical to the same link's ``transmit`` run and the
+    pinned digests are lane-count- and lane-order-invariant.
+
+    ``attacks`` is an optional per-lane sequence; ``None`` entries leave that
+    lane untouched while attack lanes get the usual ``intercept`` call on
+    row views of the batch.  Returns one :class:`FrameResult` per lane whose
+    arrays are row views into the shared batch — releasing every frame (and
+    dropping the frames) frees the batch storage, so the PR-3 memory
+    discipline carries over (peak memory scales with
+    ``n_links * n_slots``; shrink ``slots_per_batch`` as lane counts grow).
+    """
+    if n_slots < 0:
+        raise ValueError("slot count must be non-negative")
+    check_lane_channels(channels)
+    channels = list(channels)
+    n_lanes = len(channels)
+    if attacks is None:
+        attacks = [None] * n_lanes
+    elif len(attacks) != n_lanes:
+        raise ValueError("attacks must have one entry (or None) per lane")
+
+    lane_rngs = [c._numpy_rng for c in channels]
+    shape = (n_lanes, n_slots)
+
+    # --- source: per-lane modulation draws, one batched phase encoding --- #
+    basis2 = np.empty(shape, dtype=np.uint8)
+    value2 = np.empty(shape, dtype=np.uint8)
+    photons2 = np.empty(shape, dtype=np.int64)
+    for i, channel in enumerate(channels):
+        channel.source.emit_into(basis2[i], value2[i], photons2[i])
+    phase2 = modulator_phase(basis2, value2)
+
+    # --- fiber / attack: per-lane transmittance --- #
+    photons_rx2 = np.empty(shape, dtype=np.int64)
+    attack_records = [{} for _ in range(n_lanes)]
+    for i, channel in enumerate(channels):
+        transmittance = channel.parameters.path.transmittance
+        if attacks[i] is not None:
+            emission = {
+                "basis": basis2[i],
+                "value": value2[i],
+                "phase": phase2[i],
+                "photons": photons2[i],
+            }
+            interception = attacks[i].intercept(emission, transmittance, lane_rngs[i])
+            photons_rx2[i] = interception["photons_at_receiver"]
+            phase2[i] = interception["phase_at_receiver"]
+            attack_records[i] = interception.get("record", {})
+        else:
+            photons_rx2[i] = lane_rngs[i].binomial(photons2[i], transmittance)
+
+    # --- Bob's basis choice --- #
+    bob_basis2 = np.empty(shape, dtype=np.uint8)
+    for i in range(n_lanes):
+        bob_basis2[i] = lane_rngs[i].integers(0, 2, size=n_slots, dtype=np.uint8)
+
+    # --- interferometer: batched probability pipeline, per-lane draws --- #
+    scratch = phase_delta(phase2, bob_basis2)
+    del phase2
+    for i, channel in enumerate(channels):
+        noise = channel.parameters.interferometer.phase_noise_rad
+        if noise > 0:
+            scratch[i] += lane_rngs[i].normal(0.0, noise, size=n_slots)
+    visibility_col = np.array(
+        [c.parameters.interferometer.visibility for c in channels]
+    )[:, None]
+    detector1_probability_map(scratch, visibility_col)
+    draws2 = np.empty(shape, dtype=np.float64)
+    for i in range(n_lanes):
+        draws2[i] = lane_rngs[i].random(n_slots)
+    signal_detector2 = (draws2 < scratch).view(np.uint8)
+    del draws2, scratch
+
+    # --- gate misalignment: per-lane thinning --- #
+    for i, channel in enumerate(channels):
+        efficiency_factor = channel.framing.efficiency_factor
+        if efficiency_factor < 1.0:
+            photons_rx2[i] = lane_rngs[i].binomial(photons_rx2[i], efficiency_factor)
+
+    # --- detectors: batched click probability, per-lane draws --- #
+    per_photon_col = np.array(
+        [c.detectors.per_photon_detection_probability for c in channels]
+    )[:, None]
+    click_prob2 = signal_click_probability(photons_rx2, per_photon_col)
+    del photons_rx2
+    signal_click2 = np.empty(shape, dtype=bool)
+    dark0_2 = np.empty(shape, dtype=bool)
+    dark1_2 = np.empty(shape, dtype=bool)
+    coin2 = np.empty(shape, dtype=np.uint8)
+    for i, channel in enumerate(channels):
+        rng = lane_rngs[i]
+        dark_probability = channel.parameters.detectors.dark_count_probability
+        signal_click2[i] = rng.random(n_slots) < click_prob2[i]
+        dark0_2[i] = rng.random(n_slots) < dark_probability
+        dark1_2[i] = rng.random(n_slots) < dark_probability
+        afterpulse = channel.parameters.detectors.afterpulse_probability
+        if afterpulse > 0:
+            apply_afterpulse(signal_click2[i], afterpulse, rng, dark0_2[i], dark1_2[i])
+        coin2[i] = rng.integers(0, 2, size=n_slots, dtype=np.uint8)
+    del click_prob2
+    clicks = combine_clicks(signal_click2, signal_detector2, dark0_2, dark1_2, coin2)
+    del signal_click2, dark0_2, dark1_2, coin2
+
+    # --- framing: shared layout, per-lane bright-pulse draws --- #
+    per_frame = channels[0].parameters.framing.slots_per_frame
+    frame_index, _slot_in_frame = frame_layout(per_frame, n_slots)
+    n_frames = -(-n_slots // per_frame)
+    click2 = clicks["click"]
+    double2 = clicks["double"]
+    frame_starts = []
+    for i, channel in enumerate(channels):
+        frame_ok = channel.framing.sample_frame_gates(n_frames)
+        frame_starts.append(channel.framing.claim_frame_numbers(n_frames))
+        if n_slots and not frame_ok.all():
+            # Lost frames on this lane only: mask its rows in place.
+            received = frame_ok[frame_index]
+            click2[i] &= received
+            double2[i] &= received
+
+    if len(set(frame_starts)) == 1:
+        # Lanes created and stepped lock-step (the common case): every lane's
+        # frame numbering is identical, so one array serves all results.
+        shared_numbers = frame_index + frame_starts[0]
+        lane_frame_numbers = [shared_numbers] * n_lanes
+    else:
+        lane_frame_numbers = [frame_index + start for start in frame_starts]
+
+    results = []
+    for i, channel in enumerate(channels):
+        channel.slots_transmitted += n_slots
+        results.append(
+            FrameResult(
+                alice_basis=basis2[i],
+                alice_value=value2[i],
+                alice_photons=photons2[i],
+                bob_basis=bob_basis2[i],
+                bob_click=click2[i],
+                bob_double=double2[i],
+                bob_value=clicks["value"][i],
+                frame_numbers=lane_frame_numbers[i],
+                attack_record=attack_records[i],
+            )
+        )
+    return results

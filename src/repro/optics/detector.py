@@ -28,6 +28,77 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def signal_click_probability(photons_at_receiver: np.ndarray, per_photon) -> np.ndarray:
+    """Elementwise click probability ``1 - (1 - per_photon) ** k``.
+
+    ``per_photon`` is the probability a single arriving photon survives the
+    receiver optics and triggers the APD; it may be a scalar (one link) or an
+    ``(n_links, 1)`` column broadcasting each lane's value down its own row of
+    a ``(n_links, n_slots)`` photon-count batch.  ``np.power`` is elementwise,
+    so each entry is bit-identical to the per-count table gather used on the
+    sequential fast path.
+    """
+    return 1.0 - np.power(1.0 - per_photon, photons_at_receiver)
+
+
+def apply_afterpulse(
+    signal_click: np.ndarray,
+    afterpulse_probability: float,
+    numpy_rng: np.random.Generator,
+    dark0: np.ndarray,
+    dark1: np.ndarray,
+) -> None:
+    """Fold afterpulse clicks into the dark-click masks, in place.
+
+    A crude afterpulse model: a gate following a signal click has an extra
+    chance of a spurious click in a random detector.  Operates on one link's
+    1-D gate sequence (afterpulsing is a *temporal* correlation along a single
+    detector pair, so the lane engine calls this once per lane on rows of its
+    batch); ``dark0``/``dark1`` may be views into a batch and are updated with
+    in-place ``|=``.
+    """
+    n = signal_click.shape[0]
+    after = np.zeros(n, dtype=bool)
+    after[1:] = signal_click[:-1] & (numpy_rng.random(n - 1) < afterpulse_probability)
+    after_detector = numpy_rng.integers(0, 2, size=n, dtype=np.uint8)
+    dark0 |= after & (after_detector == 0)
+    dark1 |= after & (after_detector == 1)
+
+
+def combine_clicks(
+    signal_click: np.ndarray,
+    signal_detector: np.ndarray,
+    dark0: np.ndarray,
+    dark1: np.ndarray,
+    coin: np.ndarray,
+):
+    """Combine per-slot event masks into the detector outcome dict.
+
+    Pure boolean algebra, no draws, elementwise throughout — so it is shared
+    verbatim between the sequential path (1-D arrays) and the lane engine's
+    ``(n_links, n_slots)`` batch.  ``coin`` resolves double clicks so
+    downstream code never reads uninitialised data.
+    """
+    detector0_fired = (signal_click & (signal_detector == 0)) | dark0
+    detector1_fired = (signal_click & (signal_detector == 1)) | dark1
+
+    click = detector0_fired | detector1_fired
+    double = detector0_fired & detector1_fired
+    dark_only = click & ~signal_click
+
+    # Registered value: D1 means "1".  Where both fired the value is
+    # meaningless and the slot will be discarded; fill with the coin flip.
+    value = (detector1_fired & ~detector0_fired).view(np.uint8)
+    value = np.where(double, coin, value)
+
+    return {
+        "click": click,
+        "double": double,
+        "value": value,
+        "dark_only": dark_only,
+    }
+
+
 @dataclass(frozen=True)
 class DetectorParameters:
     """Operating parameters of the gated APD pair."""
@@ -123,7 +194,7 @@ class GatedAPDPair:
         # evaluated once per distinct count and gathered — np.power is
         # elementwise, so the table entries are bit-identical to the
         # whole-array call this replaces.
-        per_photon = p.receiver_transmittance * p.quantum_efficiency
+        per_photon = self.per_photon_detection_probability
         if n and np.issubdtype(photons_at_receiver.dtype, np.integer):
             counts = np.arange(
                 int(photons_at_receiver.max()) + 1, dtype=photons_at_receiver.dtype
@@ -131,44 +202,27 @@ class GatedAPDPair:
             table = 1.0 - np.power(1.0 - per_photon, counts)
             signal_click_prob = table[photons_at_receiver]
         else:
-            signal_click_prob = 1.0 - np.power(1.0 - per_photon, photons_at_receiver)
+            signal_click_prob = signal_click_probability(photons_at_receiver, per_photon)
         signal_click = numpy_rng.random(n) < signal_click_prob
 
         dark0 = numpy_rng.random(n) < p.dark_count_probability
         dark1 = numpy_rng.random(n) < p.dark_count_probability
 
         if p.afterpulse_probability > 0:
-            # A crude afterpulse model: a gate following a signal click has an
-            # extra chance of a spurious click in a random detector.
-            after = np.zeros(n, dtype=bool)
-            after[1:] = signal_click[:-1] & (
-                numpy_rng.random(n - 1) < p.afterpulse_probability
+            apply_afterpulse(
+                signal_click, p.afterpulse_probability, numpy_rng, dark0, dark1
             )
-            after_detector = numpy_rng.integers(0, 2, size=n, dtype=np.uint8)
-            dark0 |= after & (after_detector == 0)
-            dark1 |= after & (after_detector == 1)
 
-        # Which detectors fired?
-        detector0_fired = (signal_click & (signal_detector == 0)) | dark0
-        detector1_fired = (signal_click & (signal_detector == 1)) | dark1
-
-        click = detector0_fired | detector1_fired
-        double = detector0_fired & detector1_fired
-        dark_only = click & ~signal_click
-
-        # Registered value: D1 means "1".  Where both fired the value is
-        # meaningless and the slot will be discarded; fill with a coin flip so
-        # downstream code never reads uninitialised data.
-        value = (detector1_fired & ~detector0_fired).view(np.uint8)
+        # The double-click coin is drawn here — after the afterpulse draws,
+        # before the (draw-free) boolean combination — preserving the
+        # generator's historical draw order.
         coin = numpy_rng.integers(0, 2, size=n, dtype=np.uint8)
-        value = np.where(double, coin, value)
+        return combine_clicks(signal_click, signal_detector, dark0, dark1, coin)
 
-        return {
-            "click": click,
-            "double": double,
-            "value": value,
-            "dark_only": dark_only,
-        }
+    @property
+    def per_photon_detection_probability(self) -> float:
+        """Probability a single arriving photon produces a signal click."""
+        return self.parameters.receiver_transmittance * self.parameters.quantum_efficiency
 
     def __repr__(self) -> str:
         p = self.parameters

@@ -27,6 +27,37 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def phase_delta(alice_phase: np.ndarray, bob_basis: np.ndarray) -> np.ndarray:
+    """The interference phase difference ``phi_A - basis * pi/2`` per slot.
+
+    Returns a fresh float64 scratch array the caller may keep mutating.
+    Axis-agnostic: ``alice_phase``/``bob_basis`` may be one link's
+    ``(n_slots,)`` arrays or the lane engine's ``(n_links, n_slots)`` batch —
+    every operation is elementwise, so a batch row is bit-identical to the
+    same link's sequential call.
+    """
+    scratch = bob_basis.astype(np.float64)
+    scratch *= math.pi / 2.0
+    np.subtract(alice_phase, scratch, out=scratch)
+    return scratch
+
+
+def detector1_probability_map(scratch: np.ndarray, visibility) -> np.ndarray:
+    """Map a phase-difference scratch array in place to ``P(D1)``.
+
+    Applies ``(1 - V cos(delta)) / 2`` step by step with the exact IEEE
+    operation sequence of the historical inline pipeline (multiplying by 0.5
+    is dividing by two exactly).  ``visibility`` may be a scalar (one link) or
+    an ``(n_links, 1)`` column that broadcasts each lane's visibility down its
+    own row of a batch.
+    """
+    np.cos(scratch, out=scratch)
+    scratch *= visibility
+    np.subtract(1.0, scratch, out=scratch)
+    scratch *= 0.5
+    return scratch
+
+
 @dataclass(frozen=True)
 class InterferometerParameters:
     """Alignment quality of the interferometer pair."""
@@ -100,19 +131,15 @@ class MachZehnderPair:
         of '0', and on Detector 1 (D1) as '1'").
         """
         # One scratch buffer carries bob_phase -> delta -> cos -> p(D1); every
-        # step is the same IEEE operation as the naive expression (dividing by
-        # two is multiplying by 0.5 exactly), just without five temporaries.
-        scratch = bob_basis.astype(np.float64)
-        scratch *= math.pi / 2.0
-        np.subtract(alice_phase, scratch, out=scratch)
+        # step is the same IEEE operation as the naive expression, just
+        # without five temporaries.  The pipeline is shared with the lane
+        # engine's batch path via phase_delta / detector1_probability_map.
+        scratch = phase_delta(alice_phase, bob_basis)
         if self.parameters.phase_noise_rad > 0:
             scratch += numpy_rng.normal(
                 0.0, self.parameters.phase_noise_rad, size=scratch.shape
             )
-        np.cos(scratch, out=scratch)
-        scratch *= self.parameters.visibility
-        np.subtract(1.0, scratch, out=scratch)
-        scratch *= 0.5
+        detector1_probability_map(scratch, self.parameters.visibility)
         draws = numpy_rng.random(scratch.shape)
         return (draws < scratch).view(np.uint8)
 

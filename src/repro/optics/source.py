@@ -36,6 +36,19 @@ _PHASE_TABLE = np.array(
 )
 
 
+def modulator_phase(basis: np.ndarray, value: np.ndarray) -> np.ndarray:
+    """The modulator phase ``basis*pi/2 + value*pi`` for basis/value arrays.
+
+    Axis-agnostic: works on a single link's ``(n_slots,)`` arrays and on the
+    lane engine's ``(n_links, n_slots)`` batches alike (the table gather is
+    elementwise).  This is the one place the phase encoding is computed; both
+    :meth:`WeakCoherentSource.emit` and the batched
+    :func:`repro.optics.channel.transmit_lanes` go through it, so the two
+    paths cannot drift apart.
+    """
+    return _PHASE_TABLE[(basis << 1) | value]
+
+
 @dataclass(frozen=True)
 class SourceParameters:
     """Operating parameters of the weak-coherent source.
@@ -97,19 +110,36 @@ class WeakCoherentSource:
         """
         if n_pulses < 0:
             raise ValueError("number of pulses must be non-negative")
-        basis = self._numpy_rng.integers(0, 2, size=n_pulses, dtype=np.uint8)
-        value = self._numpy_rng.integers(0, 2, size=n_pulses, dtype=np.uint8)
-        phase = _PHASE_TABLE[(basis << 1) | value]
-        photons = self._numpy_rng.poisson(
-            self.parameters.mean_photon_number, size=n_pulses
-        ).astype(np.int64, copy=False)
-        self.pulses_emitted += int(n_pulses)
+        basis = np.empty(n_pulses, dtype=np.uint8)
+        value = np.empty(n_pulses, dtype=np.uint8)
+        photons = np.empty(n_pulses, dtype=np.int64)
+        self.emit_into(basis, value, photons)
         return {
             "basis": basis,
             "value": value,
-            "phase": phase,
+            "phase": modulator_phase(basis, value),
             "photons": photons,
         }
+
+    def emit_into(
+        self, basis_out: np.ndarray, value_out: np.ndarray, photons_out: np.ndarray
+    ) -> None:
+        """Draw one batch of modulation choices into caller-provided arrays.
+
+        This is the draw kernel shared by :meth:`emit` and the lane engine's
+        leading-axis batch path (which hands in one *row* of its
+        ``(n_links, n_slots)`` arrays per lane).  The draw order — basis,
+        value, photon number — and the call granularity are exactly those of
+        the historical ``emit`` body, so a lane's bitstream is identical to
+        its sequential run no matter which path produced it.
+        """
+        n_pulses = basis_out.shape[-1]
+        basis_out[...] = self._numpy_rng.integers(0, 2, size=n_pulses, dtype=np.uint8)
+        value_out[...] = self._numpy_rng.integers(0, 2, size=n_pulses, dtype=np.uint8)
+        photons_out[...] = self._numpy_rng.poisson(
+            self.parameters.mean_photon_number, size=n_pulses
+        )
+        self.pulses_emitted += int(n_pulses)
 
     def emission_duration_seconds(self, n_pulses: int) -> float:
         """Wall-clock time the transmitter needs to emit ``n_pulses`` slots."""

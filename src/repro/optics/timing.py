@@ -28,6 +28,22 @@ import numpy as np
 from repro.util.rng import DeterministicRNG
 
 
+def frame_layout(slots_per_frame: int, n_slots: int):
+    """Static slot-to-frame layout for ``n_slots`` upcoming trigger slots.
+
+    Returns ``(frame_index, slot_in_frame)`` — both int64, built by
+    repetition/tiling instead of dividing 1.5M slot numbers.  The layout is a
+    pure function of ``(slots_per_frame, n_slots)``, so the lane engine
+    computes it once and shares it across every lane of a batch.
+    """
+    if n_slots < 0:
+        raise ValueError("slot count must be non-negative")
+    n_frames = -(-n_slots // slots_per_frame)
+    frame_index = np.repeat(np.arange(n_frames, dtype=np.int64), slots_per_frame)[:n_slots]
+    slot_in_frame = np.tile(np.arange(slots_per_frame, dtype=np.int64), n_frames)[:n_slots]
+    return frame_index, slot_in_frame
+
+
 @dataclass(frozen=True)
 class FramingParameters:
     """Parameters of the bright-pulse framing subsystem."""
@@ -65,17 +81,11 @@ class BrightPulseFraming:
         Returns ``(frame_numbers, slot_in_frame, frame_received)`` where
         ``frame_received`` marks slots whose frame's bright pulse was detected.
         """
-        if n_slots < 0:
-            raise ValueError("slot count must be non-negative")
-        per_frame = self.parameters.slots_per_frame
-        n_frames = -(-n_slots // per_frame)
-        # Build the per-slot arrays by repetition/tiling instead of dividing
-        # 1.5M slot numbers: same values, a fraction of the passes.
-        frame_index = np.repeat(np.arange(n_frames, dtype=np.int64), per_frame)[:n_slots]
+        frame_index, slot_in_frame = frame_layout(self.parameters.slots_per_frame, n_slots)
+        n_frames = -(-n_slots // self.parameters.slots_per_frame)
         frame_numbers = frame_index + self._next_frame_number
-        slot_in_frame = np.tile(np.arange(per_frame, dtype=np.int64), n_frames)[:n_slots]
 
-        frame_ok = self._numpy_rng.random(n_frames) >= self.parameters.frame_loss_probability
+        frame_ok = self.sample_frame_gates(n_frames)
         if n_slots == 0:
             frame_received = np.zeros(0, dtype=bool)
         elif frame_ok.all():
@@ -84,8 +94,25 @@ class BrightPulseFraming:
         else:
             frame_received = frame_ok[frame_index]
 
-        self._next_frame_number += n_frames
+        self.claim_frame_numbers(n_frames)
         return frame_numbers, slot_in_frame, frame_received
+
+    def sample_frame_gates(self, n_frames: int) -> np.ndarray:
+        """Draw the per-frame bright-pulse outcomes (True = frame gated).
+
+        One ``random(n_frames)`` draw — always taken, even at zero loss
+        probability, so the generator advances identically whether or not any
+        frame can actually be lost.  Split out of :meth:`allocate_frames` so
+        the lane engine can drive each lane's generator with the exact
+        sequential draw while sharing the frame layout across the batch.
+        """
+        return self._numpy_rng.random(n_frames) >= self.parameters.frame_loss_probability
+
+    def claim_frame_numbers(self, n_frames: int) -> int:
+        """Advance the frame counter by ``n_frames``; returns the first number."""
+        start = self._next_frame_number
+        self._next_frame_number += n_frames
+        return start
 
     @property
     def efficiency_factor(self) -> float:

@@ -70,11 +70,36 @@ def _run_link_job(job: LinkJob) -> LinkRun:
 
 
 class LinkFarm:
-    """Schedules whole-link simulations across a worker pool."""
+    """Schedules whole-link simulations across a worker pool or lane batch.
+
+    Three execution backends, all digest-invariant (a job's output is a pure
+    function of its parameters and seed):
+
+    ``"process"`` / ``"thread"``
+        One worker per job via :func:`repro.runtime.pool.parallel_map`.
+    ``"lanes"``
+        The vectorized :class:`repro.lanes.LaneEngine` — the whole fleet as
+        one ``(n_links, n_slots)`` batch program.  Requires lane-compatible
+        jobs (homogeneous epochs; see :meth:`LaneEngine.compatible`).
+    ``"auto"``
+        Lanes when the jobs are lane-compatible, otherwise process workers.
+    """
+
+    #: Valid ``backend`` names, in documentation order.
+    BACKENDS = ("process", "thread", "lanes", "auto")
 
     def __init__(self, workers: Optional[int] = None, backend: str = "process"):
         self.workers = workers
-        self.backend = backend
+        self.backend = self._validated_backend(backend)
+
+    @classmethod
+    def _validated_backend(cls, backend: str) -> str:
+        if backend not in cls.BACKENDS:
+            raise ValueError(
+                f"unknown LinkFarm backend {backend!r}; valid backends are "
+                f"{', '.join(cls.BACKENDS)}"
+            )
+        return backend
 
     @staticmethod
     def jobs(
@@ -108,7 +133,20 @@ class LinkFarm:
         ]
 
     def run(self, jobs: Sequence[LinkJob]) -> List[LinkRun]:
-        """Run every job; results come back in submission order."""
-        return parallel_map(
-            _run_link_job, list(jobs), workers=self.workers, backend=self.backend
-        )
+        """Run every job; results come back in submission order.
+
+        The backend only changes *how* the jobs execute, never their output:
+        the lane backend consumes each job's seed exactly as a sequential
+        worker would, so switching backends leaves every digest unchanged.
+        """
+        from repro.lanes import LaneEngine
+
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        backend = self._validated_backend(self.backend)
+        if backend == "auto":
+            backend = "lanes" if LaneEngine.compatible(jobs) else "process"
+        if backend == "lanes":
+            return LaneEngine(jobs).run()
+        return parallel_map(_run_link_job, jobs, workers=self.workers, backend=backend)

@@ -30,8 +30,23 @@ class DeterministicRNG:
 
     def __init__(self, seed: Optional[int] = None):
         self.seed = seed
-        self._random = random.Random(seed)
+        self._random_state = None
         self._fork_counter = 0
+
+    @property
+    def _random(self) -> random.Random:
+        """The backing Mersenne Twister, seeded on first draw.
+
+        Lazy because forking is much more common than drawing: a link
+        constructs ~10 labeled forks but most only ever derive further
+        children (``fork`` needs just the seed), and per-epoch fleets
+        construct links by the hundred.  Seeding is a pure function of
+        ``seed``, so laziness cannot perturb any stream.
+        """
+        state = self._random_state
+        if state is None:
+            state = self._random_state = random.Random(self.seed)
+        return state
 
     # ------------------------------------------------------------------ #
     # Stream management

@@ -1,0 +1,370 @@
+"""Tests for the vectorized multi-link lane engine (repro.lanes).
+
+The lane engine's contract is bit-identity: a lane's sifted stream, distilled
+key, report and pools are byte-for-byte what the same :class:`QKDLink` would
+produce through the sequential ``run_slots`` loop.  These tests pin that
+differentially — across lane counts, heterogeneous per-lane physics, an
+attacked lane, and lane order — plus the batched announcement path
+(``run_length_encode_rows`` / ``sift_frames``), the farm's backend selection,
+and the scheduler's lanes-backed Monte-Carlo mode.
+"""
+
+import hashlib
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import LaneCompatibilityError, LaneEngine, QKDSystem
+from repro.core.sifting import (
+    SiftingProtocol,
+    run_length_encode_mask,
+    run_length_encode_rows,
+    sift_frames,
+)
+from repro.eve import InterceptResendAttack
+from repro.kms import KeyManagementService, KmsConfig
+from repro.kms.scheduler import ReplenishmentConfig
+from repro.link.qkd_link import LinkParameters, QKDLink
+from repro.optics.channel import ChannelParameters, FrameResult, QuantumChannel
+from repro.optics.detector import DetectorParameters
+from repro.optics.interferometer import InterferometerParameters
+from repro.optics.timing import FramingParameters
+from repro.runtime import LinkFarm
+from repro.runtime.farm import LinkJob, _run_link_job
+from repro.util.rng import DeterministicRNG
+
+#: sha256 over the per-lane report digests (in lane-name order) of the
+#: four-lane heterogeneous fleet built by :func:`heterogeneous_jobs` with
+#: seed root 11.  Pinned so that any change to the lane batch program that
+#: perturbs even one lane's bitstream is caught, and asserted equal for a
+#: permuted lane order — the digest is a function of the lanes, not of how
+#: they were stacked.
+PINNED_FLEET_DIGEST = "28776355f9edf0e2c9edd0c4c8850977fceb1a255c65cd9dbb632a1ddd8d48ba"
+
+SLOTS = 70_000
+BATCH = 30_000  # 3 batches: 30k + 30k + 10k, exercising the remainder batch
+
+
+def _report_digest(report):
+    """Byte-level digest of a link run: stats plus every corrected key."""
+    digest = hashlib.sha256()
+    digest.update(
+        repr(
+            (
+                report.slots_transmitted,
+                report.sifted_bits,
+                report.distilled_bits,
+                report.mean_qber,
+                report.blocks_distilled,
+                report.blocks_aborted,
+            )
+        ).encode()
+    )
+    for outcome in report.outcomes:
+        digest.update(
+            repr(
+                (
+                    outcome.block_id,
+                    outcome.sifted_bits,
+                    outcome.qber,
+                    outcome.distilled_bits,
+                    outcome.aborted,
+                    outcome.abort_reason,
+                )
+            ).encode()
+        )
+        if outcome.cascade is not None:
+            digest.update(str(outcome.cascade.corrected_key).encode())
+    return digest.hexdigest()
+
+
+def _pool_digest(pool):
+    digest = hashlib.sha256()
+    for block in pool.blocks:
+        digest.update(str(block.bits).encode())
+    return digest.hexdigest()
+
+
+def _lane_parameters(length_km, **channel_overrides):
+    return LinkParameters(
+        channel=ChannelParameters.for_distance(length_km, **channel_overrides),
+        slots_per_batch=BATCH,
+    )
+
+
+def heterogeneous_jobs(seed=11, n_slots=SLOTS):
+    """Four lanes that differ in everything lanes may differ in:
+    distance, framing loss, afterpulsing, phase noise, and an attack."""
+    rng = DeterministicRNG(seed)
+    specs = [
+        _lane_parameters(5.0),
+        _lane_parameters(10.0, framing=FramingParameters(frame_loss_probability=0.05)),
+        _lane_parameters(20.0, detectors=DetectorParameters(afterpulse_probability=0.02)),
+        _lane_parameters(
+            40.0, interferometer=InterferometerParameters(phase_noise_rad=0.05)
+        ),
+    ]
+    return [
+        LinkJob(
+            name=f"l{index}",
+            parameters=parameters,
+            seed=rng.fork_labeled(f"lane/{index}").seed,
+            n_slots=n_slots,
+            attack=InterceptResendAttack() if index == 2 else None,
+        )
+        for index, parameters in enumerate(specs)
+    ]
+
+
+def sequential_digests(jobs):
+    return {job.name: _report_digest(_run_link_job(job).report) for job in jobs}
+
+
+class TestLaneBitIdentity:
+    """The tentpole contract: lanes == sequential, bit for bit."""
+
+    def test_single_lane_matches_sequential(self):
+        job = heterogeneous_jobs()[1]
+        lane_run = LaneEngine([job]).run()[0]
+        seq_run = _run_link_job(job)
+        assert _report_digest(lane_run.report) == _report_digest(seq_run.report)
+        assert _pool_digest(lane_run.alice_pool) == _pool_digest(seq_run.alice_pool)
+        assert _pool_digest(lane_run.bob_pool) == _pool_digest(seq_run.bob_pool)
+
+    def test_heterogeneous_fleet_matches_sequential(self):
+        """Four lanes with different distances, loss, afterpulsing, phase
+        noise and one intercept-resend attack — every lane bit-identical."""
+        jobs = heterogeneous_jobs()
+        lane_runs = LaneEngine(jobs).run()
+        expected = sequential_digests(jobs)
+        for run in lane_runs:
+            assert _report_digest(run.report) == expected[run.name]
+        attacked = lane_runs[2].report
+        clean = lane_runs[0].report
+        assert attacked.mean_qber > 3 * clean.mean_qber
+
+    def test_sixty_four_lanes_match_sequential(self):
+        parameters = LinkParameters(
+            channel=ChannelParameters.for_distance(5.0), slots_per_batch=5_000
+        )
+        jobs = LinkFarm.jobs(
+            64, 12_000, parameters=parameters, rng=DeterministicRNG(64)
+        )
+        lane_runs = LaneEngine(jobs).run()
+        # Spot-check a spread of lanes sequentially (all 64 would only
+        # repeat the same code path 64 times over).
+        for index in (0, 1, 31, 63):
+            seq = _run_link_job(jobs[index])
+            assert _report_digest(lane_runs[index].report) == _report_digest(seq.report)
+
+    def test_lane_order_invariance_and_pinned_digest(self):
+        jobs = heterogeneous_jobs()
+        in_order = LaneEngine(jobs).run()
+        permuted = LaneEngine([jobs[2], jobs[0], jobs[3], jobs[1]]).run()
+        by_name = {run.name: _report_digest(run.report) for run in permuted}
+        for run in in_order:
+            assert _report_digest(run.report) == by_name[run.name]
+        fleet = hashlib.sha256()
+        for run in in_order:
+            fleet.update(_report_digest(run.report).encode())
+        assert fleet.hexdigest() == PINNED_FLEET_DIGEST
+
+    def test_lane_count_invariance_via_facade(self):
+        """A lane's stream is a pure function of its ``lane/<id>`` label —
+        lane 0 of a 3-lane fleet equals lane 0 running alone."""
+        trio = QKDSystem(seed=42).lanes(3).run_slots(30_000)
+        solo = QKDSystem(seed=42).lanes(1).run_slots(30_000)
+        assert _report_digest(solo[0]) == _report_digest(trio[0])
+
+    def test_distilled_key_material_matches_sequential(self):
+        """A short link long enough to complete a full 2048-bit block, so
+        the comparison covers nonzero distilled key, not just sifting."""
+        job = LinkJob(
+            name="near",
+            parameters=LinkParameters(
+                channel=ChannelParameters.for_distance(2.0), slots_per_batch=500_000
+            ),
+            seed=DeterministicRNG(5).fork_labeled("lane/near").seed,
+            n_slots=1_000_000,
+        )
+        lane_run = LaneEngine([job]).run()[0]
+        seq_run = _run_link_job(job)
+        assert lane_run.report.distilled_bits > 0
+        assert _pool_digest(lane_run.alice_pool) == _pool_digest(seq_run.alice_pool)
+        assert _report_digest(lane_run.report) == _report_digest(seq_run.report)
+
+
+class TestBatchedAnnouncement:
+    """run_length_encode_rows / sift_frames vs the scalar path."""
+
+    def test_rle_rows_matches_per_row_mask(self):
+        rng = np.random.default_rng(17)
+        for density in (0.0, 0.003, 0.5, 1.0):
+            mask2d = (rng.random((7, 513)) < density).astype(np.uint8)
+            rows = run_length_encode_rows(mask2d)
+            for row, runs in zip(mask2d, rows):
+                np.testing.assert_array_equal(runs, run_length_encode_mask(row))
+
+    def test_rle_rows_degenerate_shapes(self):
+        rows = run_length_encode_rows(np.zeros((3, 0), dtype=np.uint8))
+        assert len(rows) == 3
+        for runs in rows:
+            np.testing.assert_array_equal(runs, np.array([0]))
+        single = run_length_encode_rows(np.array([[1]], dtype=np.uint8))
+        np.testing.assert_array_equal(single[0], run_length_encode_mask(np.array([1])))
+
+    def test_sift_frames_matches_per_frame_sift(self):
+        channels = [
+            QuantumChannel(
+                ChannelParameters.for_distance(km), DeterministicRNG(23).fork(f"ch{km}")
+            )
+            for km in (2.0, 10.0)
+        ]
+        frames = [channel.transmit(20_000) for channel in channels]
+        batched = sift_frames(frames, [7, 8])
+        for frame, frame_id, got in zip(frames, [7, 8], batched):
+            want = SiftingProtocol(frame_id=frame_id).sift(frame)
+            assert got.alice_key == want.alice_key
+            assert got.bob_key == want.bob_key
+            np.testing.assert_array_equal(got.slot_indices, want.slot_indices)
+            assert got.n_detections_reported == want.n_detections_reported
+
+    def test_sift_frames_rejects_ragged_batches(self):
+        channel = QuantumChannel(ChannelParameters(), DeterministicRNG(1))
+        frames = [channel.transmit(8_192), channel.transmit(4_096)]
+        with pytest.raises(ValueError, match="rectangular"):
+            sift_frames(frames, [0, 1])
+        with pytest.raises(ValueError, match="frame id"):
+            sift_frames(frames[:1], [0, 1])
+
+
+class TestLaneMemoryDiscipline:
+    """PR-3's per-frame release must not regress on the lane path."""
+
+    def test_every_lane_frame_is_released(self, monkeypatch):
+        released = []
+        original = FrameResult.release_slot_arrays
+
+        def counting_release(self):
+            released.append(self)
+            return original(self)
+
+        monkeypatch.setattr(FrameResult, "release_slot_arrays", counting_release)
+        jobs = heterogeneous_jobs(n_slots=SLOTS)[:2]
+        LaneEngine(jobs).run()
+        n_batches = 3  # 70k slots in 30k batches
+        assert len(released) == len(jobs) * n_batches
+        assert len({id(frame) for frame in released}) == len(released)
+
+
+class TestFarmBackends:
+    def test_unknown_backend_is_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown LinkFarm backend 'bogus'"):
+            LinkFarm(backend="bogus")
+
+    def test_lanes_backend_matches_thread_backend(self):
+        jobs = heterogeneous_jobs()
+        lane_runs = LinkFarm(backend="lanes").run(jobs)
+        thread_runs = LinkFarm(workers=2, backend="thread").run(jobs)
+        for lane_run, thread_run in zip(lane_runs, thread_runs):
+            assert lane_run.name == thread_run.name
+            assert _report_digest(lane_run.report) == _report_digest(thread_run.report)
+            assert _pool_digest(lane_run.alice_pool) == _pool_digest(
+                thread_run.alice_pool
+            )
+
+    def test_auto_selects_lanes_for_homogeneous_jobs(self):
+        jobs = heterogeneous_jobs()
+        assert LaneEngine.compatible(jobs)
+        ragged = [jobs[0], replace(jobs[1], n_slots=jobs[1].n_slots + 1)]
+        assert not LaneEngine.compatible(ragged)
+        assert not LaneEngine.compatible([])
+        entangled = LinkJob(
+            name="ent",
+            parameters=LinkParameters(channel=ChannelParameters.entangled_link(10.0)),
+            seed=3,
+            n_slots=1_000,
+        )
+        assert not LaneEngine.compatible([entangled])
+        # auto still runs ragged fleets (process path) and returns in order
+        runs = LinkFarm(workers=2, backend="auto").run(ragged)
+        assert [run.name for run in runs] == [job.name for job in ragged]
+
+    def test_lane_engine_rejects_incompatible_fleets(self):
+        jobs = heterogeneous_jobs()
+        with pytest.raises(LaneCompatibilityError, match="n_slots"):
+            LaneEngine([jobs[0], replace(jobs[1], n_slots=1)]).run()
+        mixed_batch = replace(
+            jobs[1], parameters=replace(jobs[1].parameters, slots_per_batch=BATCH * 2)
+        )
+        with pytest.raises(LaneCompatibilityError, match="slots_per_batch"):
+            LaneEngine([jobs[0], mixed_batch])
+        with pytest.raises(LaneCompatibilityError, match="at least one"):
+            LaneEngine([])
+        entangled = LinkJob(
+            name="ent",
+            parameters=LinkParameters(
+                channel=ChannelParameters.entangled_link(10.0), slots_per_batch=BATCH
+            ),
+            seed=3,
+            n_slots=SLOTS,
+        )
+        with pytest.raises(LaneCompatibilityError, match="entangled"):
+            LaneEngine([jobs[0], entangled])
+
+
+class TestSchedulerLanes:
+    def test_replenishment_config_validates_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ReplenishmentConfig(backend="bogus")
+        assert ReplenishmentConfig(backend="lanes").pool_backend == "thread"
+        assert ReplenishmentConfig(backend="process").pool_backend == "process"
+
+    def test_montecarlo_lanes_backend_matches_thread(self):
+        """The scheduler's Monte-Carlo epochs deliver identical key material
+        whether the fleet runs on thread workers or the lane engine."""
+        from tests.test_kms import make_relays
+
+        def serve(backend):
+            relays = make_relays(seed=3, n_endpoints=2, n_relays=1, link_length_km=1.0)
+            config = KmsConfig(
+                transport_key_bits=64,
+                store_capacity_bits=1024,
+                store_low_water_bits=64,
+                store_high_water_bits=128,
+                replenishment=ReplenishmentConfig(
+                    mode="montecarlo",
+                    slots_per_epoch=800_000,
+                    epoch_seconds=3600.0,
+                    workers=1,
+                    backend=backend,
+                ),
+            )
+            service = KeyManagementService(relays, config, rng=DeterministicRNG(3))
+            return service.serve(hours=0.5)
+
+        lanes = serve("lanes")
+        threads = serve("thread")
+        assert lanes.pad_bits_banked > 0
+        assert lanes.delivered_digest == threads.delivered_digest
+        assert lanes.pad_bits_banked == threads.pad_bits_banked
+
+
+class TestFacade:
+    def test_lanes_builder_runs_a_fleet(self):
+        reports = QKDSystem(seed=42).lanes(3).run_slots(30_000)
+        assert len(reports) == 3
+        assert all(report.slots_transmitted == 30_000 for report in reports)
+        with pytest.raises(ValueError, match="positive"):
+            QKDSystem(seed=42).lanes(0)
+
+    def test_mesh_with_lanes_configures_replenishment(self):
+        mesh = QKDSystem(seed=7, n_endpoints=2, n_relays=1).mesh()
+        kms = mesh.with_lanes(max_links_per_epoch=8).kms()
+        replenishment = kms.config.replenishment
+        assert replenishment.mode == "montecarlo"
+        assert replenishment.backend == "lanes"
+        assert replenishment.max_links_per_epoch == 8
+        # the builder is non-destructive: the original mesh is untouched
+        assert mesh.kms().config.replenishment.backend != "lanes"
