@@ -33,7 +33,10 @@ keys — ``QKDSystem(seed=s).link()`` is bit-for-bit the legacy
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the facade light
+    from repro.faults import FaultPlane
 
 from repro.core.engine import EngineParameters
 from repro.ipsec.gateway import GatewayPair
@@ -247,6 +250,20 @@ class QKDSystem:
             rng=DeterministicRNG(config.seed),
             name_prefix=name or f"{config.name}-lane",
         )
+
+    def fault_plane(self, **kwargs) -> "FaultPlane":
+        """A :class:`repro.faults.FaultPlane` derived from the system seed.
+
+        Every injection decision draws from the labeled streams
+        ``faults/<site>/<n>`` of this system's seed, so the disruption
+        schedule a netkms stack is subjected to is as reproducible as the
+        key material it serves.  Keyword arguments (``rates``,
+        ``delay_range``, ``stall_range``) pass through to
+        :class:`~repro.faults.plane.FaultPlane`.
+        """
+        from repro.faults import FaultPlane
+
+        return FaultPlane(rng=DeterministicRNG(self.config.seed), **kwargs)
 
     def __repr__(self) -> str:
         return f"QKDSystem(seed={self.config.seed}, name={self.config.name!r})"

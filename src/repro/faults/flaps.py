@@ -1,0 +1,122 @@
+"""Link flaps: deterministic up/down outage schedules for a fault plane.
+
+A *flap* is a bounded window during which a link is dead: connection
+attempts refuse, frames in flight are cut.  Flap schedules are drawn once,
+up front, from the labeled streams ``faults/flap/<n>`` (one stream per
+window, same derivation discipline as every other fault decision), so a
+seed fully determines when the link dies and when it heals — the DTN
+regime from PAPERS.md, where the disruption pattern is the experiment's
+independent variable.
+
+The windows are plain data; two drivers bind them to a clock:
+
+* :class:`LinkFlapper` schedules them on a :class:`~repro.sim.clock`
+  :class:`~repro.sim.clock.EventScheduler` (simulated time) via
+  ``schedule_window``, toggling ``plane.take_down()`` / ``bring_up()``;
+* :func:`drive_flaps` replays them against wall-clock asyncio for the
+  chaos soak and bench E18, where the netkms stack under test runs on a
+  real event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List
+
+from repro.faults.plane import FaultPlane
+from repro.sim.clock import EventScheduler
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class FlapWindow:
+    """One outage: the link is down on ``[down_at, up_at)``."""
+
+    down_at: float
+    up_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.up_at - self.down_at
+
+
+def draw_flap_windows(
+    rng: DeterministicRNG,
+    horizon_seconds: float,
+    mean_up_seconds: float,
+    mean_down_seconds: float,
+    min_down_seconds: float = 0.0,
+) -> List[FlapWindow]:
+    """Alternating up/down windows over ``[0, horizon_seconds)``.
+
+    Up and down durations are exponential draws around their means; window
+    ``n`` draws from ``faults/flap/<n>``, so inserting or removing earlier
+    windows in a *different* configuration never re-randomises later ones.
+    """
+    if horizon_seconds <= 0:
+        return []
+    if mean_up_seconds <= 0 or mean_down_seconds <= 0:
+        raise ValueError("mean up/down durations must be positive")
+    windows: List[FlapWindow] = []
+    t = 0.0
+    index = 0
+    while True:
+        stream = rng.fork_labeled(f"faults/flap/{index}")
+        t += stream.exponential(mean_up_seconds)
+        if t >= horizon_seconds:
+            break
+        down = max(min_down_seconds, stream.exponential(mean_down_seconds))
+        up_at = min(t + down, horizon_seconds)
+        windows.append(FlapWindow(down_at=t, up_at=up_at))
+        t = up_at
+        index += 1
+    return windows
+
+
+class LinkFlapper:
+    """Bind flap windows to a sim-time scheduler and a fault plane."""
+
+    def __init__(self, plane: FaultPlane, scheduler: EventScheduler):
+        self.plane = plane
+        self.scheduler = scheduler
+        self.windows_applied = 0
+
+    def apply(self, windows: List[FlapWindow]) -> None:
+        for window in windows:
+            self.scheduler.schedule_window(
+                window.down_at,
+                window.up_at,
+                self.plane.take_down,
+                self.plane.bring_up,
+                label=f"flap/{self.windows_applied}",
+            )
+            self.windows_applied += 1
+
+
+async def drive_flaps(
+    plane: FaultPlane,
+    windows: List[FlapWindow],
+    time_scale: float = 1.0,
+    sleep=None,
+) -> None:
+    """Replay ``windows`` against wall-clock asyncio (for the chaos soak).
+
+    ``time_scale`` compresses the schedule (0.1 runs it 10x faster);
+    ``sleep`` is injectable for tests.  The link is guaranteed back up
+    when the coroutine returns, even if it is cancelled mid-outage.
+    """
+    do_sleep = sleep or asyncio.sleep
+    now = 0.0
+    try:
+        for window in windows:
+            await do_sleep(max(0.0, window.down_at - now) * time_scale)
+            plane.take_down()
+            await do_sleep(window.duration * time_scale)
+            plane.bring_up()
+            now = window.up_at
+    finally:
+        plane.bring_up()
+
+
+__all__ = ["FlapWindow", "LinkFlapper", "draw_flap_windows", "drive_flaps"]

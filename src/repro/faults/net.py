@@ -1,0 +1,196 @@
+"""Applying fault-plane decisions to asyncio transports.
+
+:class:`FaultyConnector` is a drop-in for the netkms client's ``connector``
+seam: it consults the plane at the ``connect`` site (refusals, SYN
+delays), then wraps the opened streams so every *frame* the client sends
+(``client/tx``) or receives (``client/rx``) passes through a fault
+decision.  The wrappers understand the netkms framing — each
+``write()`` is one whole frame, and reads alternate a 4-byte length
+prefix with the frame body — so a decision applies to a frame, not to an
+arbitrary byte boundary.
+
+Injected failures surface as the *same* exception types real infrastructure
+produces (:class:`ConnectionResetError`, :class:`ConnectionRefusedError`,
+:class:`asyncio.IncompleteReadError`): the client under test cannot tell
+chaos from a genuine outage, which is the point.
+
+:func:`stall_hook` covers the server side: it plugs into
+``NetworkKmsServer(request_hook=...)`` and holds requests at the
+``server/request`` site — long enough past the client's request timeout
+and the retry loop must recover.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Optional, Tuple
+
+from repro.faults.plane import (
+    DELAY,
+    DROP_AFTER,
+    DROP_BEFORE,
+    REFUSE,
+    SITE_CLIENT_RX,
+    SITE_CLIENT_TX,
+    SITE_CONNECT,
+    SITE_SERVER_REQUEST,
+    STALL,
+    TRUNCATE,
+    FaultAction,
+    FaultPlane,
+)
+
+_PREFIX_BYTES = 4
+
+
+class FaultyWriter:
+    """Wraps a :class:`asyncio.StreamWriter`; each ``write()`` is one frame."""
+
+    def __init__(self, inner: asyncio.StreamWriter, plane: FaultPlane):
+        self._inner = inner
+        self._plane = plane
+
+    def write(self, data: bytes) -> None:
+        action = self._plane.decide(SITE_CLIENT_TX)
+        if action is None:
+            self._inner.write(data)
+            return
+        if action.kind == DROP_BEFORE:
+            self._abort()
+            raise ConnectionResetError("injected: connection cut before send")
+        if action.kind == TRUNCATE:
+            keep = max(1, min(len(data) - 1, int(len(data) * action.keep_fraction)))
+            self._inner.write(data[:keep])
+            self._abort()
+            raise ConnectionResetError(
+                f"injected: frame truncated to {keep}/{len(data)} bytes"
+            )
+        if action.kind == DROP_AFTER:
+            # The frame gets out (graceful close flushes it); the connection
+            # dies before any reply can come back.  The *write* succeeds —
+            # the caller discovers the cut when its await on the reply
+            # fails.  The server may or may not have processed the request:
+            # exactly the ambiguity the client's idempotent retry must
+            # absorb.
+            self._inner.write(data)
+            self._inner.close()
+            return
+        raise AssertionError(f"unhandled tx action {action.kind!r}")
+
+    def _abort(self) -> None:
+        transport = self._inner.transport
+        if transport is not None:
+            transport.abort()
+
+    async def drain(self) -> None:
+        try:
+            await self._inner.drain()
+        except ConnectionError:
+            raise
+        except Exception:
+            # An aborted transport can fail drain with transport-specific
+            # errors; normalise to what a real cut produces.
+            raise ConnectionResetError("injected: connection aborted") from None
+
+    def close(self) -> None:
+        self._inner.close()
+
+    async def wait_closed(self) -> None:
+        await self._inner.wait_closed()
+
+    @property
+    def transport(self):
+        return self._inner.transport
+
+
+class FaultyReader:
+    """Wraps a :class:`asyncio.StreamReader` on the reply path.
+
+    The netkms protocol reads ``readexactly(4)`` (length prefix) then
+    ``readexactly(length)`` (body); the decision for a frame is taken at
+    its prefix read and, for truncation, applied at the body read.
+    """
+
+    def __init__(self, inner: asyncio.StreamReader, plane: FaultPlane, sleep=None):
+        self._inner = inner
+        self._plane = plane
+        self._sleep = sleep or asyncio.sleep
+        self._at_prefix = True
+        self._pending_truncate: Optional[FaultAction] = None
+
+    async def readexactly(self, n: int) -> bytes:
+        if self._at_prefix and n == _PREFIX_BYTES:
+            return await self._read_prefix(n)
+        return await self._read_body(n)
+
+    async def _read_prefix(self, n: int) -> bytes:
+        action = self._plane.decide(SITE_CLIENT_RX)
+        if action is not None:
+            if action.kind == DROP_BEFORE:
+                raise ConnectionResetError("injected: connection cut before reply")
+            if action.kind == DELAY:
+                await self._sleep(action.delay_seconds)
+            elif action.kind == TRUNCATE:
+                self._pending_truncate = action
+        data = await self._inner.readexactly(n)
+        self._at_prefix = False
+        return data
+
+    async def _read_body(self, n: int) -> bytes:
+        self._at_prefix = True
+        truncate = self._pending_truncate
+        self._pending_truncate = None
+        if truncate is not None:
+            keep = max(0, min(n - 1, int(n * truncate.keep_fraction)))
+            partial = await self._inner.readexactly(keep) if keep else b""
+            raise asyncio.IncompleteReadError(partial, n)
+        return await self._inner.readexactly(n)
+
+    def at_eof(self) -> bool:
+        return self._inner.at_eof()
+
+
+class FaultyConnector:
+    """A ``connector(host, port)`` that routes everything through a plane.
+
+    Pass as ``NetworkKmsClient(connector=FaultyConnector(plane))`` (or via
+    :class:`~repro.netkms.resilient.ResilientKmsClient`); ``base`` defaults
+    to :func:`asyncio.open_connection`.
+    """
+
+    def __init__(self, plane: FaultPlane, base=None, sleep=None):
+        self._plane = plane
+        self._base = base or asyncio.open_connection
+        self._sleep = sleep or asyncio.sleep
+
+    async def __call__(
+        self, host: str, port: int
+    ) -> Tuple[FaultyReader, FaultyWriter]:
+        action = self._plane.decide(SITE_CONNECT)
+        if action is not None:
+            if action.kind == REFUSE:
+                raise ConnectionRefusedError("injected: connection refused")
+            if action.kind == DELAY:
+                await self._sleep(action.delay_seconds)
+        reader, writer = await self._base(host, port)
+        return (
+            FaultyReader(reader, self._plane, sleep=self._sleep),
+            FaultyWriter(writer, self._plane),
+        )
+
+
+def stall_hook(
+    plane: FaultPlane, sleep=None
+) -> Callable[[object], Awaitable[None]]:
+    """A ``NetworkKmsServer(request_hook=...)`` that stalls per the plane."""
+    do_sleep = sleep or asyncio.sleep
+
+    async def hook(_message) -> None:
+        action = plane.decide(SITE_SERVER_REQUEST)
+        if action is not None and action.kind == STALL:
+            await do_sleep(action.delay_seconds)
+
+    return hook
+
+
+__all__ = ["FaultyConnector", "FaultyReader", "FaultyWriter", "stall_hook"]

@@ -1,0 +1,249 @@
+"""The fault plane: deterministic, labeled-stream fault decisions.
+
+Chaos that cannot be replayed cannot be debugged.  Every fault this plane
+injects is decided by a pure function of ``(seed, site, op_index)``: the
+``n``-th operation at injection site ``site`` draws its fate from the
+labeled stream ``faults/<site>/<n>`` — the same derivation discipline as
+the lane runtime's ``lane/<i>`` and the KMS service's ``kms/epoch/<n>``
+streams — so a failing chaos run re-runs identically from its seed alone,
+independent of asyncio scheduling order between sites.
+
+Two ways to make faults happen:
+
+* **scripted rules** pin an exact action to one ``(site, op_index)`` —
+  "the 3rd CONSUME's reply is dropped" — which is how the pinned soak in
+  the test suite guarantees its required scenarios occur;
+* **stochastic rates** give each action kind a per-operation probability
+  at a site, evaluated against that operation's own labeled stream — how
+  the chaos sweep scales aggression up and down without losing replay.
+
+A scripted rule always wins over the stochastic draw at its index, and the
+stream for the index is drawn either way so scripting *earlier* operations
+never shifts the randomness of later ones.
+
+The plane itself never touches a socket; :mod:`repro.faults.net` applies
+its decisions to asyncio transports and :mod:`repro.faults.flaps` binds
+them to :mod:`repro.sim.clock` link-outage windows (while the link is
+down, connects refuse and live connections drop — whatever the schedule
+says).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.util.rng import DeterministicRNG
+
+# Action kinds ---------------------------------------------------------- #
+
+#: Cut the connection before the frame reaches the wire.
+DROP_BEFORE = "drop-before"
+#: Let the frame out, then cut the connection (the reply can never arrive).
+DROP_AFTER = "drop-after"
+#: Deliver only a prefix of the frame, then cut.
+TRUNCATE = "truncate"
+#: Deliver the frame late.
+DELAY = "delay"
+#: Refuse the connection attempt outright.
+REFUSE = "refuse"
+#: Hold the request inside the server before dispatching it.
+STALL = "stall"
+
+# Injection sites ------------------------------------------------------- #
+
+#: A client transport-open attempt (kinds: refuse, delay).
+SITE_CONNECT = "connect"
+#: A request frame leaving the client (kinds: drop-before, drop-after,
+#: truncate).
+SITE_CLIENT_TX = "client/tx"
+#: A reply frame arriving at the client (kinds: drop-before, truncate,
+#: delay).
+SITE_CLIENT_RX = "client/rx"
+#: A decoded request about to be dispatched inside the server (kind:
+#: stall).
+SITE_SERVER_REQUEST = "server/request"
+
+SITES = (SITE_CONNECT, SITE_CLIENT_TX, SITE_CLIENT_RX, SITE_SERVER_REQUEST)
+
+#: Which kinds may fire at which site, in the fixed order the stochastic
+#: draw evaluates them (order is part of the deterministic contract).
+SITE_KINDS: Dict[str, Tuple[str, ...]] = {
+    SITE_CONNECT: (REFUSE, DELAY),
+    SITE_CLIENT_TX: (DROP_BEFORE, DROP_AFTER, TRUNCATE),
+    SITE_CLIENT_RX: (DROP_BEFORE, TRUNCATE, DELAY),
+    SITE_SERVER_REQUEST: (STALL,),
+}
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One injected fault, fully specified."""
+
+    kind: str
+    #: Seconds to hold the operation (``delay``/``stall`` kinds).
+    delay_seconds: float = 0.0
+    #: Fraction of the frame delivered before the cut (``truncate``).
+    keep_fraction: float = 0.5
+
+
+@dataclass
+class FaultRecord:
+    """One injection that actually happened (the plane's flight recorder)."""
+
+    site: str
+    op_index: int
+    action: FaultAction
+
+
+@dataclass
+class FaultPlaneStats:
+    """What the plane did, for assertions and the E18 bench table."""
+
+    ops_by_site: Dict[str, int] = field(default_factory=dict)
+    injected_by_site: Dict[str, int] = field(default_factory=dict)
+    injected_by_kind: Dict[str, int] = field(default_factory=dict)
+    records: List[FaultRecord] = field(default_factory=list)
+
+    @property
+    def injections(self) -> int:
+        return len(self.records)
+
+
+class FaultPlane:
+    """Deterministic fault decisions for every injection site.
+
+    ``rng`` anchors the ``faults/<site>/<n>`` stream family (pass the
+    system root so the whole experiment remains a function of one seed).
+    ``rates`` maps ``site -> {kind: probability}`` for the stochastic
+    sweep; :meth:`script` pins exact actions to exact operation indices.
+    ``delay_range``/``stall_range`` bound the drawn hold times.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[DeterministicRNG] = None,
+        rates: Optional[Mapping[str, Mapping[str, float]]] = None,
+        delay_range: Tuple[float, float] = (0.01, 0.05),
+        stall_range: Tuple[float, float] = (0.05, 0.25),
+    ):
+        self.rng = rng or DeterministicRNG(0)
+        self.rates: Dict[str, Dict[str, float]] = {}
+        for site, kinds in (rates or {}).items():
+            if site not in SITE_KINDS:
+                raise ValueError(f"unknown fault site {site!r} (sites: {SITES})")
+            bad = set(kinds) - set(SITE_KINDS[site])
+            if bad:
+                raise ValueError(f"kinds {sorted(bad)} cannot fire at site {site!r}")
+            self.rates[site] = dict(kinds)
+        self.delay_range = delay_range
+        self.stall_range = stall_range
+        self.stats = FaultPlaneStats()
+        #: Link state; while False, every connect refuses and every tx/rx
+        #: frame drops (flap schedules toggle this).
+        self.link_up = True
+        self._scripted: Dict[Tuple[str, int], FaultAction] = {}
+        self._op_counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+
+    def script(self, site: str, op_index: int, action: FaultAction) -> "FaultPlane":
+        """Pin ``action`` to the ``op_index``-th operation at ``site``.
+
+        Indices count from 0 in operation order at that site.  Returns the
+        plane for chaining.
+        """
+        if site not in SITE_KINDS:
+            raise ValueError(f"unknown fault site {site!r} (sites: {SITES})")
+        if action.kind not in SITE_KINDS[site]:
+            raise ValueError(f"kind {action.kind!r} cannot fire at site {site!r}")
+        self._scripted[(site, op_index)] = action
+        return self
+
+    def take_down(self) -> None:
+        self.link_up = False
+
+    def bring_up(self) -> None:
+        self.link_up = True
+
+    # ------------------------------------------------------------------ #
+    # The decision
+    # ------------------------------------------------------------------ #
+
+    def decide(self, site: str) -> Optional[FaultAction]:
+        """The fate of the next operation at ``site`` (None = unharmed).
+
+        Advances the site's operation counter and consumes that index's
+        ``faults/<site>/<n>`` stream whether or not anything fires, so
+        decisions stay index-aligned across configurations.
+        """
+        if site not in SITE_KINDS:
+            raise ValueError(f"unknown fault site {site!r} (sites: {SITES})")
+        index = self._op_counters.get(site, 0)
+        self._op_counters[site] = index + 1
+        self.stats.ops_by_site[site] = self.stats.ops_by_site.get(site, 0) + 1
+
+        stream = self.rng.fork_labeled(f"faults/{site}/{index}")
+        stochastic = self._draw(site, stream)
+        action = self._scripted.get((site, index), stochastic)
+        if action is None and not self.link_up:
+            # A downed link overrides a clean draw: refuse new connections,
+            # cut frames in flight.
+            action = FaultAction(REFUSE if site == SITE_CONNECT else DROP_BEFORE)
+        if action is not None:
+            self.stats.records.append(FaultRecord(site, index, action))
+            self.stats.injected_by_site[site] = (
+                self.stats.injected_by_site.get(site, 0) + 1
+            )
+            self.stats.injected_by_kind[action.kind] = (
+                self.stats.injected_by_kind.get(action.kind, 0) + 1
+            )
+        return action
+
+    def _draw(self, site: str, stream: DeterministicRNG) -> Optional[FaultAction]:
+        rates = self.rates.get(site)
+        hit: Optional[str] = None
+        # Evaluate every kind (fixed order) even after a hit, so the
+        # stream's consumption per index is constant and a rate change for
+        # one kind cannot re-randomise another's draws.
+        for kind in SITE_KINDS[site]:
+            fired = stream.bernoulli((rates or {}).get(kind, 0.0))
+            if fired and hit is None:
+                hit = kind
+        if hit is None:
+            return None
+        if hit in (DELAY, STALL):
+            low, high = self.stall_range if hit == STALL else self.delay_range
+            return FaultAction(hit, delay_seconds=stream.uniform(low, high))
+        if hit == TRUNCATE:
+            return FaultAction(hit, keep_fraction=stream.uniform(0.1, 0.9))
+        return FaultAction(hit)
+
+    def __repr__(self) -> str:
+        ops = sum(self.stats.ops_by_site.values())
+        return (
+            f"FaultPlane({ops} ops, {self.stats.injections} injected, "
+            f"link {'up' if self.link_up else 'DOWN'})"
+        )
+
+
+__all__ = [
+    "DELAY",
+    "DROP_AFTER",
+    "DROP_BEFORE",
+    "FaultAction",
+    "FaultPlane",
+    "FaultPlaneStats",
+    "FaultRecord",
+    "REFUSE",
+    "SITE_CLIENT_RX",
+    "SITE_CLIENT_TX",
+    "SITE_CONNECT",
+    "SITE_KINDS",
+    "SITE_SERVER_REQUEST",
+    "SITES",
+    "STALL",
+    "TRUNCATE",
+]

@@ -91,6 +91,13 @@ class StoreStatistics:
     deposits: int = 0
     reservations_granted: int = 0
     reservations_denied: int = 0
+    #: Reservations given back unconsumed (voluntary release *or* a
+    #: server-side reap of an orphaned/expired lease) and the bits they
+    #: returned to the unreserved level.  ``bits_released`` is the store's
+    #: own ledger of returned bits — the number any reaper's counters must
+    #: reconcile against to prove no reservation leaked.
+    reservations_released: int = 0
+    bits_released: int = 0
     #: Epochs in which the scheduler wanted to refill this store but could
     #: not deliver anything (exhausted pads, no usable path, ...).
     starved_epochs: int = 0
@@ -264,6 +271,8 @@ class KeyStore:
             )
         reservation.state = "released"
         self._reservations.pop(reservation.reservation_id, None)
+        self.statistics.reservations_released += 1
+        self.statistics.bits_released += reservation.bits
 
     @contextmanager
     def consuming(self, reservation: KeyReservation, now: float = 0.0) -> Iterator[None]:

@@ -16,10 +16,17 @@ exposes key material to its consumers over a network API (the ETSI GS QKD
   status/capabilities) to many concurrent SAE clients, race-free against
   the stores' reservation semantics;
 * :class:`~repro.netkms.client.NetworkKmsClient` — the asyncio client
-  library (pipelining by request id, typed server errors);
+  library (pipelining by request id, typed server errors, per-request
+  timeouts, an injectable connector for fault injection);
+* :class:`~repro.netkms.resilient.ResilientKmsClient` — the
+  disruption-tolerant wrapper: reconnect with capped exponential backoff
+  and deterministic jitter, plus the per-kind idempotent retry policy
+  that keeps ``get_key`` exactly-once across drops, stalls, and lease
+  reaps (see docs/API.md "Failure semantics");
 * :class:`~repro.netkms.metrics.NetKmsMetrics` — per-request wall-clock
   accounting: requests/s, reserve-latency percentiles, protocol-error
-  counts, and an order-independent served-key digest.
+  counts, reap/replay counters, and an order-independent served-key
+  digest.
 
 Entry point from the facade:
 ``QKDSystem(seed).mesh(...).kms().serve_network(port=0)`` returns an
@@ -27,14 +34,26 @@ unstarted server bound to the service's stores; ``await server.start()``
 inside an event loop brings it up.
 """
 
-from repro.netkms.client import NetworkKmsClient, ReservationHandle, ServedKey
+from repro.netkms.client import (
+    NetworkKmsClient,
+    RequestTimeoutError,
+    ReservationHandle,
+    ServedKey,
+)
 from repro.netkms.metrics import MetricsReport, NetKmsMetrics
 from repro.netkms.protocol import (
     PROTOCOL_V1,
     PROTOCOL_V2,
+    PROTOCOL_V3,
     SUPPORTED_VERSIONS,
     ProtocolError,
     ServerError,
+)
+from repro.netkms.resilient import (
+    RecoveryStats,
+    ResilientKmsClient,
+    RetriesExhaustedError,
+    RetryPolicy,
 )
 from repro.netkms.server import MAX_RESERVE_BITS, NetworkKmsServer
 
@@ -46,8 +65,14 @@ __all__ = [
     "NetworkKmsServer",
     "PROTOCOL_V1",
     "PROTOCOL_V2",
+    "PROTOCOL_V3",
     "ProtocolError",
+    "RecoveryStats",
+    "RequestTimeoutError",
     "ReservationHandle",
+    "ResilientKmsClient",
+    "RetriesExhaustedError",
+    "RetryPolicy",
     "ServedKey",
     "ServerError",
     "SUPPORTED_VERSIONS",

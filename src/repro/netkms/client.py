@@ -18,7 +18,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Awaitable, Callable, Dict, Optional, Tuple
 
 from repro.netkms import protocol
 from repro.netkms.protocol import (
@@ -42,6 +42,25 @@ from repro.netkms.protocol import (
 
 Pair = Tuple[str, str]
 
+#: ``connector(host, port)`` opening the transport; the default is plain
+#: :func:`asyncio.open_connection`.  The fault plane substitutes a wrapper
+#: that injects connection refusals, delays, and frame corruption.
+Connector = Callable[
+    [str, int], Awaitable[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+]
+
+
+class RequestTimeoutError(TimeoutError):
+    """A request outlived its per-request timeout.
+
+    After a timeout the connection's state is indeterminate — the reply may
+    still arrive (and will be dropped as stale) or the request may never
+    have been processed.  Callers that need certainty must reconnect and
+    re-issue under the idempotency rules (see docs/API.md "Failure
+    semantics"); :class:`~repro.netkms.resilient.ResilientKmsClient` does
+    exactly that.
+    """
+
 
 @dataclass
 class ReservationHandle:
@@ -50,6 +69,9 @@ class ReservationHandle:
     pair: Pair
     reservation_id: int
     bits: int
+    #: Lease TTL granted by a v3+ server (milliseconds); ``None`` when the
+    #: negotiated version predates leases.
+    lease_ms: Optional[int] = None
 
 
 @dataclass
@@ -73,7 +95,10 @@ class NetworkKmsClient:
         await client.close()
 
     or as an async context manager.  ``versions`` narrows what the client
-    offers (a v1-only client sets ``versions=(1,)``).
+    offers (a v1-only client sets ``versions=(1,)``).  ``request_timeout``
+    bounds how long any single request may wait for its reply
+    (:class:`RequestTimeoutError` past it; ``None`` waits forever).
+    ``connector`` replaces the transport opener — the fault plane's seam.
     """
 
     def __init__(
@@ -83,14 +108,20 @@ class NetworkKmsClient:
         versions: Tuple[int, ...] = protocol.SUPPORTED_VERSIONS,
         client_id: str = "sae",
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        request_timeout: Optional[float] = None,
+        connector: Optional[Connector] = None,
     ):
         if not versions:
             raise ValueError("the client must offer at least one version")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
         self.host = host
         self.port = port
         self.versions = tuple(sorted(versions))
         self.client_id = client_id
         self.max_frame_bytes = max_frame_bytes
+        self.request_timeout = request_timeout
+        self._connector: Connector = connector or asyncio.open_connection
         #: The negotiated protocol version (None until connected).
         self.version: Optional[int] = None
         self.server_id: Optional[str] = None
@@ -109,30 +140,37 @@ class NetworkKmsClient:
         """Open the connection and negotiate; returns the agreed version."""
         if self._writer is not None:
             raise RuntimeError("client already connected")
-        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
-        hello = Hello(
-            min_version=self.versions[0],
-            max_version=self.versions[-1],
-            client_id=self.client_id,
-        )
-        self._writer.write(protocol.encode_frame(hello, protocol.PROTOCOL_V1))
-        await self._writer.drain()
-        body = await protocol.read_frame(self._reader, self.max_frame_bytes)
-        reply = protocol.decode_body(body, expected_version=None)
-        if isinstance(reply, Error):
-            await self._teardown()
-            raise ServerError(reply.code, reply.detail)
-        if not isinstance(reply, Welcome):
-            await self._teardown()
-            raise ProtocolError(
-                protocol.ERR_MALFORMED, f"expected WELCOME, got kind 0x{reply.KIND:02x}"
+        self._reader, self._writer = await self._connector(self.host, self.port)
+        # Until the read loop takes ownership of the socket, *any* exit from
+        # the handshake — typed rejection, malformed reply, a frame error or
+        # connection cut mid-read — must close what we just opened, or every
+        # failed connect leaks a socket.
+        try:
+            hello = Hello(
+                min_version=self.versions[0],
+                max_version=self.versions[-1],
+                client_id=self.client_id,
             )
-        version = reply.wire_version
-        if not self.versions[0] <= version <= self.versions[-1]:
+            self._writer.write(protocol.encode_frame(hello, protocol.PROTOCOL_V1))
+            await self._writer.drain()
+            body = await protocol.read_frame(self._reader, self.max_frame_bytes)
+            reply = protocol.decode_body(body, expected_version=None)
+            if isinstance(reply, Error):
+                raise ServerError(reply.code, reply.detail)
+            if not isinstance(reply, Welcome):
+                raise ProtocolError(
+                    protocol.ERR_MALFORMED,
+                    f"expected WELCOME, got kind 0x{reply.KIND:02x}",
+                )
+            version = reply.wire_version
+            if not self.versions[0] <= version <= self.versions[-1]:
+                raise ProtocolError(
+                    protocol.ERR_VERSION,
+                    f"server chose v{version}, offered {self.versions}",
+                )
+        except BaseException:
             await self._teardown()
-            raise ProtocolError(
-                protocol.ERR_VERSION, f"server chose v{version}, offered {self.versions}"
-            )
+            raise
         self.version = version
         self.server_id = reply.server_id
         self._reader_task = asyncio.ensure_future(self._read_loop())
@@ -143,7 +181,9 @@ class NetworkKmsClient:
             self._reader_task.cancel()
             try:
                 await self._reader_task
-            except (asyncio.CancelledError, Exception):
+            except asyncio.CancelledError:
+                # The expected outcome of cancelling the read loop; any
+                # other exception is a real bug and must surface.
                 pass
             self._reader_task = None
         await self._teardown()
@@ -183,7 +223,12 @@ class NetworkKmsClient:
     async def reserve(self, pair: Pair, bits: int) -> ReservationHandle:
         reply = await self._request(Reserve(pair=pair, bits=bits))
         ok = self._expect(reply, ReserveOk)
-        return ReservationHandle(pair=pair, reservation_id=ok.reservation_id, bits=ok.bits)
+        return ReservationHandle(
+            pair=pair,
+            reservation_id=ok.reservation_id,
+            bits=ok.bits,
+            lease_ms=ok.lease_ms,
+        )
 
     async def consume(self, reservation: ReservationHandle) -> ServedKey:
         reply = await self._request(
@@ -221,6 +266,10 @@ class NetworkKmsClient:
     # Plumbing
     # ------------------------------------------------------------------ #
 
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and self.version is not None
+
     async def _request(self, message: Message) -> Message:
         if self._writer is None or self.version is None:
             raise RuntimeError("client is not connected")
@@ -231,7 +280,18 @@ class NetworkKmsClient:
             async with self._write_lock:
                 self._writer.write(protocol.encode_frame(message, self.version))
                 await self._writer.drain()
-            return await future
+            if self.request_timeout is None:
+                return await future
+            try:
+                # ``wait_for`` cancels the future on timeout, so a reply
+                # that arrives late is dropped by the read loop's ``done()``
+                # guard rather than resolving a request nobody awaits.
+                return await asyncio.wait_for(future, self.request_timeout)
+            except asyncio.TimeoutError:
+                raise RequestTimeoutError(
+                    f"{type(message).__name__} request {message.request_id} "
+                    f"exceeded {self.request_timeout:.3f}s"
+                ) from None
         finally:
             self._pending.pop(message.request_id, None)
 

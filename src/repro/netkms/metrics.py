@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.kms.service import percentile
@@ -46,6 +46,15 @@ class MetricsReport:
     protocol_errors: Dict[str, int]
     fatal_errors: int
     served_digest: str
+    #: Orphaned/expired reservations reaped back into the store, and the
+    #: bits that reaping returned (must reconcile with the stores' own
+    #: ``bits_released`` ledger — the no-reservation-leak invariant).
+    reservations_reaped: int = 0
+    reaped_bits: int = 0
+    reaped_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: CONSUME retries served from the idempotent replay cache (the same
+    #: bytes re-delivered; the served digest counts the material once).
+    consume_replays: int = 0
 
 
 class NetKmsMetrics:
@@ -63,6 +72,10 @@ class NetKmsMetrics:
         self.key_bits_served = 0
         self.error_counts: Dict[int, int] = {}
         self.fatal_errors = 0
+        self.reservations_reaped = 0
+        self.reaped_bits = 0
+        self.reaped_by_reason: Dict[str, int] = {}
+        self.consume_replays = 0
         #: sha256 of each served chunk; the report digest hashes these
         #: *sorted*, so it is independent of service order (and therefore of
         #: client concurrency) as long as the same material is served.
@@ -91,6 +104,15 @@ class NetKmsMetrics:
         self.error_counts[code] = self.error_counts.get(code, 0) + 1
         if code in FATAL_ERRORS:
             self.fatal_errors += 1
+
+    def note_reaped(self, bits: int, reason: str) -> None:
+        """One reservation returned to its store (``reason``: why)."""
+        self.reservations_reaped += 1
+        self.reaped_bits += bits
+        self.reaped_by_reason[reason] = self.reaped_by_reason.get(reason, 0) + 1
+
+    def note_replay(self) -> None:
+        self.consume_replays += 1
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -127,6 +149,10 @@ class NetKmsMetrics:
             },
             fatal_errors=self.fatal_errors,
             served_digest=self.served_digest(),
+            reservations_reaped=self.reservations_reaped,
+            reaped_bits=self.reaped_bits,
+            reaped_by_reason=dict(self.reaped_by_reason),
+            consume_replays=self.consume_replays,
         )
 
 

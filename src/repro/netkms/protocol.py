@@ -37,7 +37,10 @@ implementation can parse — so a v1 server can read a v9 client's offer and
 still negotiate down.  This is the backward-compatible-upgrade discipline:
 v2 adds a trailing ``depletion_rate_millibps`` field to STATUS_OK, and a
 v1 peer never sees it because the *negotiated* version, not the newest
-implemented one, selects the encoding.
+implemented one, selects the encoding.  v3 repeats the template on the
+reservation path: RESERVE_OK grows a trailing ``lease_ms`` varint — the
+server's lease TTL on the granted reservation (0 = no lease), after which
+an unconsumed reservation is reaped and its bits returned to the store.
 
 Error handling
 --------------
@@ -57,10 +60,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Type
 
 #: Protocol versions this implementation speaks.  v2 is v1 plus a trailing
-#: ``depletion_rate_millibps`` varint on STATUS_OK.
+#: ``depletion_rate_millibps`` varint on STATUS_OK; v3 is v2 plus a trailing
+#: ``lease_ms`` varint on RESERVE_OK (the reservation's lease TTL).
 PROTOCOL_V1 = 1
 PROTOCOL_V2 = 2
-SUPPORTED_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2)
+PROTOCOL_V3 = 3
+SUPPORTED_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3)
 
 #: Message kinds, allocated inside the ``0x20..0x3F`` range that
 #: :mod:`repro.core.wire` reserves for netkms.
@@ -88,10 +93,14 @@ ERR_EXHAUSTED = 6
 ERR_UNKNOWN_RESERVATION = 7
 ERR_LIMIT = 8
 ERR_INTERNAL = 9
+ERR_SHUTTING_DOWN = 10
 
 #: Codes after which the offending connection is closed (the stream can no
-#: longer be trusted to be in frame sync, or no version was ever agreed).
-FATAL_ERRORS = frozenset({ERR_VERSION, ERR_MALFORMED, ERR_UNKNOWN_KIND, ERR_OVERSIZED})
+#: longer be trusted to be in frame sync, no version was ever agreed, or —
+#: for SHUTTING_DOWN — the server is draining and will close momentarily).
+FATAL_ERRORS = frozenset(
+    {ERR_VERSION, ERR_MALFORMED, ERR_UNKNOWN_KIND, ERR_OVERSIZED, ERR_SHUTTING_DOWN}
+)
 
 ERROR_NAMES = {
     ERR_VERSION: "version-mismatch",
@@ -103,6 +112,7 @@ ERROR_NAMES = {
     ERR_UNKNOWN_RESERVATION: "unknown-reservation",
     ERR_LIMIT: "limit",
     ERR_INTERNAL: "internal",
+    ERR_SHUTTING_DOWN: "shutting-down",
 }
 
 #: Default cap on one frame's body; chosen so the largest legitimate frame
@@ -268,7 +278,7 @@ class Hello(Message):
     """Client opener: the inclusive version range it speaks, and its name."""
 
     min_version: int = PROTOCOL_V1
-    max_version: int = PROTOCOL_V2
+    max_version: int = PROTOCOL_V3
     client_id: str = "sae"
 
     KIND = KIND_HELLO
@@ -470,23 +480,37 @@ class Reserve(Message):
 
 @dataclass
 class ReserveOk(Message):
-    """A granted reservation, to be consumed or released by id."""
+    """A granted reservation, to be consumed or released by id.
+
+    v3 appends ``lease_ms``: the server's lease TTL on the reservation in
+    milliseconds (0 = the server grants no lease).  A reservation that is
+    neither consumed nor released within its lease is reaped server-side
+    and its bits returned to the store.
+    """
 
     reservation_id: int = 0
     bits: int = 0
+    #: Lease TTL in milliseconds — present at v3+, ``None`` at v1/v2.
+    lease_ms: Optional[int] = None
 
     KIND = KIND_RESERVE_OK
 
     def _payload(self, version: int) -> bytes:
-        return _varint(self.reservation_id) + _varint(self.bits)
+        out = _varint(self.reservation_id) + _varint(self.bits)
+        if version >= PROTOCOL_V3:
+            out += _varint(self.lease_ms or 0)
+        return out
 
     @classmethod
     def _decode(cls, cursor: _Cursor, request_id: int, version: int) -> "ReserveOk":
-        return cls(
+        msg = cls(
             request_id=request_id,
             reservation_id=cursor.varint("reservation id"),
             bits=cursor.varint("bits"),
         )
+        if version >= PROTOCOL_V3:
+            msg.lease_ms = cursor.varint("lease ms")
+        return msg
 
 
 @dataclass

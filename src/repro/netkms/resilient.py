@@ -1,0 +1,307 @@
+"""Disruption-tolerant client: retry, reconnect, and exactly-once keys.
+
+:class:`NetworkKmsClient` is deliberately thin — one connection, typed
+errors, per-request timeouts, nothing more.  :class:`ResilientKmsClient`
+wraps it with the recovery loop a real SAE needs when links flap and
+servers stall (the Elastic-TCP-style adaptive backoff from PAPERS.md):
+
+* **reconnect** with capped exponential backoff and *deterministic* jitter
+  (drawn from a labeled :class:`~repro.util.rng.DeterministicRNG` stream,
+  so a seeded chaos run replays byte-for-byte);
+* **per-kind retry policy** that never violates the one-time-pad
+  contract.  The safety rules, per message kind:
+
+  ============  ==========================================================
+  STATUS        Pure read — always retry-safe.
+  CAPABILITIES  Pure read — always retry-safe.
+  RESERVE       Retry-safe: a duplicate grant whose RESERVE_OK was lost is
+                an orphan the server's lease reaper returns to the store.
+  RELEASE       Retry-safe: a duplicate release answers
+                ``unknown-reservation``, which the retry treats as success
+                (the first release already returned the bits).
+  CONSUME       Retried only because the server keeps consumed
+                reservations in an idempotent replay cache for one lease
+                term: a retried CONSUME re-delivers the *same* bytes, so
+                material is never drawn twice.  If the retry answers
+                ``unknown-reservation`` the lease was reaped before any
+                consume happened — the reservation is abandoned and a
+                fresh reserve+consume runs instead.  Either way no key is
+                double-served.
+  ============  ==========================================================
+
+* **recovery accounting** — every disruption that the loop survives
+  records how long service took to resume, feeding the recovery-time
+  p50/p99 that bench E18 reports.
+
+``get_key`` is the workhorse: it survives connection drops mid-consume,
+server stalls past the request timeout, lease-expiry reaps, and graceful
+server drains, and still returns every requested key exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, List, Optional, Tuple
+
+from repro.netkms import protocol
+from repro.netkms.client import (
+    Connector,
+    NetworkKmsClient,
+    Pair,
+    RequestTimeoutError,
+    ReservationHandle,
+    ServedKey,
+)
+from repro.netkms.protocol import ServerError, StatusOk
+from repro.util.rng import DeterministicRNG
+
+
+class RetriesExhaustedError(ConnectionError):
+    """The retry budget ran out before the operation succeeded."""
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff shape and budgets for :class:`ResilientKmsClient`.
+
+    ``jitter_fraction`` scales each backoff down by up to that fraction
+    (decorrelating a fleet of clients without ever *lengthening* the cap);
+    the draw comes from the client's labeled RNG stream, so it is
+    deterministic per seed.
+    """
+
+    max_attempts: int = 8
+    base_backoff_seconds: float = 0.05
+    max_backoff_seconds: float = 2.0
+    jitter_fraction: float = 0.5
+    request_timeout_seconds: Optional[float] = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0 <= self.jitter_fraction <= 1:
+            raise ValueError("jitter_fraction must be within [0, 1]")
+        if self.base_backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff bounds must be non-negative")
+
+    def backoff(self, attempt: int, rng: DeterministicRNG) -> float:
+        """Delay before retry ``attempt`` (1-based): capped doubling, jittered."""
+        raw = min(
+            self.base_backoff_seconds * (2 ** (attempt - 1)),
+            self.max_backoff_seconds,
+        )
+        return raw * (1.0 - self.jitter_fraction * rng.random())
+
+
+@dataclass
+class RecoveryStats:
+    """What the retry loop had to absorb, for bench E18."""
+
+    attempts: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    timeouts: int = 0
+    reservations_abandoned: int = 0
+    #: Wall seconds from each first failure to the operation's eventual
+    #: success — the "how long was service interrupted" distribution.
+    recovery_seconds: List[float] = field(default_factory=list)
+
+
+#: Exceptions that mean "the transport failed or the server is going away";
+#: the operation may be retried under the per-kind idempotency rules.
+def _retryable(exc: BaseException) -> bool:
+    if isinstance(exc, (ConnectionError, asyncio.IncompleteReadError)):
+        return True
+    if isinstance(exc, RequestTimeoutError):
+        return True
+    if isinstance(exc, ServerError) and exc.code == protocol.ERR_SHUTTING_DOWN:
+        return True
+    return False
+
+
+class ResilientKmsClient:
+    """A :class:`NetworkKmsClient` that survives faults.
+
+    Usage::
+
+        client = ResilientKmsClient(
+            "127.0.0.1", server.port, rng=system.rng.fork_labeled("sae/0")
+        )
+        key = await client.get_key(pair, bits=1024)   # exactly-once
+        await client.close()
+
+    ``rng`` seeds the jitter stream (fork it per client so a fleet
+    decorrelates deterministically).  ``sleep`` and ``clock`` are
+    injectable for fast, deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[DeterministicRNG] = None,
+        versions: Tuple[int, ...] = protocol.SUPPORTED_VERSIONS,
+        client_id: str = "sae",
+        connector: Optional[Connector] = None,
+        sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self.rng = (rng or DeterministicRNG(0)).fork_labeled("retry/jitter")
+        self.versions = versions
+        self.client_id = client_id
+        self.stats = RecoveryStats()
+        self._connector = connector
+        self._sleep = sleep or asyncio.sleep
+        self._clock = clock or time.monotonic
+        self._client: Optional[NetworkKmsClient] = None
+        self._ever_connected = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+
+    async def __aenter__(self) -> "ResilientKmsClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def _ensure_connected(self) -> NetworkKmsClient:
+        if self._client is not None and self._client.connected:
+            return self._client
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+        client = NetworkKmsClient(
+            self.host,
+            self.port,
+            versions=self.versions,
+            client_id=self.client_id,
+            request_timeout=self.policy.request_timeout_seconds,
+            connector=self._connector,
+        )
+        await client.connect()
+        if self._ever_connected:
+            self.stats.reconnects += 1
+        self._ever_connected = True
+        self._client = client
+        return client
+
+    async def _drop_connection(self) -> None:
+        """Abandon a connection whose state is indeterminate (timeout/cut)."""
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+
+    # ------------------------------------------------------------------ #
+    # Retry-safe operations
+    # ------------------------------------------------------------------ #
+
+    async def status(self, pair: Pair) -> StatusOk:
+        return await self._with_retries(lambda c: c.status(pair))
+
+    async def reserve(self, pair: Pair, bits: int) -> ReservationHandle:
+        return await self._with_retries(lambda c: c.reserve(pair, bits))
+
+    async def release(self, reservation: ReservationHandle) -> None:
+        async def op(client: NetworkKmsClient) -> None:
+            try:
+                await client.release(reservation)
+            except ServerError as exc:
+                if exc.code != protocol.ERR_UNKNOWN_RESERVATION:
+                    raise
+                # Already released (a retry after a lost RELEASE_OK) or
+                # already reaped — either way the bits are back in the
+                # store, which is what release means.
+
+        await self._with_retries(op)
+
+    async def consume(self, reservation: ReservationHandle) -> ServedKey:
+        """Consume with retries; raises ``ServerError(unknown-reservation)``
+        if the lease was reaped before any consume happened."""
+        return await self._with_retries(lambda c: c.consume(reservation))
+
+    async def get_key(self, pair: Pair, bits: int) -> ServedKey:
+        """Reserve-then-consume that is exactly-once under faults.
+
+        A consume retry that answers ``unknown-reservation`` means the
+        lease expired and the reaper returned the bits *before the first
+        consume reached the store* (a consumed reservation would have hit
+        the replay cache instead) — so abandoning the handle and
+        re-reserving cannot double-serve.
+        """
+        started = self._clock()
+        interrupted = False
+        while True:
+            reservation = await self.reserve(pair, bits)
+            try:
+                key = await self.consume(reservation)
+            except ServerError as exc:
+                if exc.code != protocol.ERR_UNKNOWN_RESERVATION:
+                    raise
+                self.stats.reservations_abandoned += 1
+                interrupted = True
+                continue
+            if interrupted:
+                self.stats.recovery_seconds.append(self._clock() - started)
+            return key
+
+    # ------------------------------------------------------------------ #
+    # The retry loop
+    # ------------------------------------------------------------------ #
+
+    async def _with_retries(self, op):
+        first_failure: Optional[float] = None
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.stats.attempts += 1
+            try:
+                client = await self._ensure_connected()
+                result = await op(client)
+            except BaseException as exc:
+                if not _retryable(exc):
+                    raise
+                last_error = exc
+                if first_failure is None:
+                    first_failure = self._clock()
+                if isinstance(exc, RequestTimeoutError):
+                    self.stats.timeouts += 1
+                # The connection's state is unknown after any retryable
+                # failure; reconnect rather than reuse a wedged stream.
+                await self._drop_connection()
+                if attempt == self.policy.max_attempts:
+                    break
+                self.stats.retries += 1
+                delay = self.policy.backoff(attempt, self.rng)
+                if delay > 0:
+                    await self._sleep(delay)
+                continue
+            if first_failure is not None:
+                self.stats.recovery_seconds.append(self._clock() - first_failure)
+            return result
+        raise RetriesExhaustedError(
+            f"gave up after {self.policy.max_attempts} attempts"
+        ) from last_error
+
+    def __repr__(self) -> str:
+        state = "connected" if self._client and self._client.connected else "idle"
+        return f"ResilientKmsClient({self.host}:{self.port}, {state})"
+
+
+__all__ = [
+    "RecoveryStats",
+    "ResilientKmsClient",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+]

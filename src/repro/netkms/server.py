@@ -18,6 +18,34 @@ per-pair :class:`asyncio.Lock` around the reserve-bookkeeping and
 consume-draw sections, so the no-overlap guarantee does not silently depend
 on no ``await`` ever creeping between a lookup and its draw.
 
+Disruption tolerance
+--------------------
+
+A reservation is a *lease*, not a grant in perpetuity.  Every held
+reservation records the connection that created it and an expiry deadline
+(``lease_seconds`` past the grant, advertised to v3 clients as
+``lease_ms`` on RESERVE_OK).  Two reapers close the reservation-leak
+window a failing peer would otherwise open:
+
+* **disconnect reap** — when a connection closes (peer death, link cut,
+  fault injection), every reservation it still holds is released back to
+  its store immediately;
+* **lease reap** — reservations that outlive their lease (a half-open
+  connection the TCP stack has not noticed is dead) are released by the
+  periodic sweep (and lazily on every reserve/consume/release), so bits
+  can never stay invisible forever.
+
+Consumed reservations enter a bounded **replay cache** for one lease term:
+a client that lost the CONSUME_OK to a connection drop can reconnect and
+re-issue the same CONSUME, and the server re-delivers the *same* bytes —
+the material is drawn (and counted by the served digest) exactly once.
+This is what makes CONSUME idempotent and the client's retry loop safe.
+
+``stop()`` drains gracefully: the listener closes, the request currently
+being dispatched on each connection finishes and is answered, any further
+request is rejected with a typed ``SHUTTING_DOWN`` error, and every
+still-held reservation is reaped so the stores are left clean.
+
 Hostile input
 -------------
 
@@ -32,8 +60,10 @@ because an out-of-sync or version-less stream cannot be reframed.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
-from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.kms.store import KeyReservation, KeyStore, KeyStoreExhaustedError
 from repro.netkms import protocol
@@ -62,6 +92,36 @@ Pair = Tuple[str, str]
 #: of a hostile RESERVE and the size of the CONSUME_OK reply frame.
 MAX_RESERVE_BITS = 1 << 15
 
+#: Default lease on a granted reservation (seconds of the server's clock).
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: Most recently consumed reservations kept for idempotent CONSUME replay.
+REPLAY_CACHE_LIMIT = 1024
+
+
+@dataclass
+class HeldReservation:
+    """One granted-but-unconsumed reservation and its lease terms."""
+
+    reservation: KeyReservation
+    #: Connection that created it; its close reaps the reservation.  The
+    #: owner is a *reaping* responsibility, not an access restriction — a
+    #: client that reconnects may legitimately consume by id from a new
+    #: connection (racing the old connection's disconnect reap; whichever
+    #: side wins, the bits are served or returned exactly once).
+    owner: int
+    #: Server-clock deadline after which the lease reaper returns the bits.
+    expires_at: float
+
+
+@dataclass
+class ServedReservation:
+    """A consumed reservation retained for idempotent CONSUME replay."""
+
+    key_bits: int
+    key_bytes: bytes
+    expires_at: float
+
 
 class NetworkKmsServer:
     """Serve ``stores`` (pair -> :class:`KeyStore`) over asyncio TCP.
@@ -71,11 +131,14 @@ class NetworkKmsServer:
         server = NetworkKmsServer({pair: store}, port=0)
         await server.start()          # binds; server.port is now real
         ...                           # clients connect / request
-        await server.stop()
+        await server.stop()           # graceful drain (see ``stop``)
 
     or as an async context manager.  ``versions`` narrows the protocol
-    versions offered (the interop tests run v1-only and v2-capable servers
-    against v1-only and v2-capable clients in both directions).
+    versions offered (the interop tests run v1-only through v3-capable
+    servers against every client generation in both directions).
+    ``lease_seconds`` is the reservation lease TTL; ``request_hook`` is an
+    awaited seam before every dispatch — the fault plane's stall injector
+    plugs in there.
     """
 
     def __init__(
@@ -88,6 +151,10 @@ class NetworkKmsServer:
         max_reserve_bits: int = MAX_RESERVE_BITS,
         server_id: str = "kme",
         now: Optional[Callable[[], float]] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        replay_retention_seconds: Optional[float] = None,
+        reap_interval_seconds: Optional[float] = 1.0,
+        request_hook: Optional[Callable[[Message], Awaitable[None]]] = None,
     ):
         self.stores: Dict[Pair, KeyStore] = {
             (str(a), str(b)): store for (a, b), store in stores.items()
@@ -98,20 +165,41 @@ class NetworkKmsServer:
         unknown = set(self.versions) - set(protocol.SUPPORTED_VERSIONS)
         if not self.versions or unknown:
             raise ValueError(f"unsupported protocol versions: {sorted(unknown)}")
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
         self.max_reserve_bits = max_reserve_bits
         self.server_id = server_id
+        self.lease_seconds = lease_seconds
+        #: How long a consumed reservation stays replayable.  Must exceed
+        #: the longest client retry window, or a retried CONSUME could miss
+        #: the cache and wrongly read as "reaped before consume".
+        self.replay_retention_seconds = (
+            replay_retention_seconds
+            if replay_retention_seconds is not None
+            else 10.0 * lease_seconds
+        )
+        self.reap_interval_seconds = reap_interval_seconds
+        self.request_hook = request_hook
         self.metrics = NetKmsMetrics()
-        #: Store timestamps for reserve/consume accounting; injectable so a
-        #: simulated-clock service can keep its stores' EWMA in sim time.
+        #: Store timestamps for reserve/consume accounting and lease expiry;
+        #: injectable so a simulated-clock service can keep its stores' EWMA
+        #: (and its leases) in sim time.
         self._now = now or time.monotonic
         self._server: Optional[asyncio.base_events.Server] = None
         #: Held reservations by (pair, reservation id); the id space is the
         #: store's own, so release/consume validate against live state.
-        self._held: Dict[Tuple[Pair, int], KeyReservation] = {}
+        self._held: Dict[Tuple[Pair, int], HeldReservation] = {}
+        #: Recently consumed reservations, for idempotent CONSUME replay.
+        self._served: Dict[Tuple[Pair, int], ServedReservation] = {}
         self._locks: Dict[Pair, asyncio.Lock] = {}
+        self._conn_ids = itertools.count(1)
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._draining = False
+        self._drain_event: Optional[asyncio.Event] = None
+        self._reaper_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -121,19 +209,51 @@ class NetworkKmsServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._locks = {pair: asyncio.Lock() for pair in self.stores}
+        self._draining = False
+        self._drain_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.metrics = NetKmsMetrics()
+        if self.reap_interval_seconds is not None:
+            self._reaper_task = asyncio.ensure_future(self._reap_loop())
         return self
 
-    async def stop(self) -> None:
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        """Drain and shut down.
+
+        The listener closes first (no new connections), then every live
+        connection is told to drain: the request currently being dispatched
+        finishes and is answered, any further request gets a typed
+        ``SHUTTING_DOWN`` error, and the connection closes.  Connections
+        that have not finished within ``drain_timeout`` are cancelled.
+        Finally every still-held reservation is reaped back into its store,
+        so a stopped server never leaves bits invisibly reserved.
+        """
         if self._server is None:
             return
+        self._draining = True
+        if self._drain_event is not None:
+            self._drain_event.set()
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except asyncio.CancelledError:
+                pass
+            self._reaper_task = None
+        pending = set(self._conn_tasks)
+        if pending:
+            _done, still_running = await asyncio.wait(pending, timeout=drain_timeout)
+            for task in still_running:
+                task.cancel()
+            if still_running:
+                await asyncio.gather(*still_running, return_exceptions=True)
+        self._reap_all("shutdown")
 
     async def __aenter__(self) -> "NetworkKmsServer":
         return await self.start()
@@ -145,6 +265,63 @@ class NetworkKmsServer:
     def endpoint(self) -> Tuple[str, int]:
         return (self.host, self.port)
 
+    @property
+    def held_reservations(self) -> int:
+        """Reservations currently granted but neither consumed nor reaped."""
+        return len(self._held)
+
+    # ------------------------------------------------------------------ #
+    # Reaping
+    # ------------------------------------------------------------------ #
+
+    def reap_expired(self, now: Optional[float] = None) -> int:
+        """Release reservations whose lease has expired; returns bits freed.
+
+        Runs lazily on every reserve/consume/release and periodically from
+        the reaper task; callable directly (e.g. against an injected sim
+        clock) for deterministic tests.  Also evicts replay-cache entries
+        past their retention window.
+        """
+        now = self._now() if now is None else now
+        freed = 0
+        for key in [k for k, held in self._held.items() if held.expires_at <= now]:
+            freed += self._reap_one(key, "lease-expired")
+        for key in [k for k, entry in self._served.items() if entry.expires_at <= now]:
+            del self._served[key]
+        return freed
+
+    def _reap_connection(self, conn_id: int) -> int:
+        """Release everything a closing connection still holds."""
+        freed = 0
+        for key in [k for k, held in self._held.items() if held.owner == conn_id]:
+            freed += self._reap_one(key, "disconnect")
+        return freed
+
+    def _reap_all(self, reason: str) -> int:
+        freed = 0
+        for key in list(self._held):
+            freed += self._reap_one(key, reason)
+        self._served.clear()
+        return freed
+
+    def _reap_one(self, key: Tuple[Pair, int], reason: str) -> int:
+        """Return one held reservation's bits to its store (synchronous —
+        no await between the lookup and the release, so reaping can never
+        race a consume on the same reservation)."""
+        held = self._held.pop(key, None)
+        if held is None:
+            return 0
+        pair = key[0]
+        store = self.stores[pair]
+        store.release(held.reservation)
+        self.metrics.note_reaped(held.reservation.bits, reason)
+        return held.reservation.bits
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.reap_interval_seconds)
+            self.reap_expired()
+
     # ------------------------------------------------------------------ #
     # Connection handling
     # ------------------------------------------------------------------ #
@@ -153,13 +330,20 @@ class NetworkKmsServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.metrics.connections_opened += 1
+        conn_id = next(self._conn_ids)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             version = await self._handshake(reader, writer)
             if version is not None:
-                await self._serve_requests(reader, writer, version)
+                await self._serve_requests(reader, writer, version, conn_id)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass  # peer went away; nothing to answer
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._reap_connection(conn_id)
             self.metrics.connections_closed += 1
             writer.close()
             try:
@@ -182,6 +366,10 @@ class NetworkKmsServer:
         except ProtocolError as exc:
             await self._send_error(writer, 0, exc, version=protocol.PROTOCOL_V1)
             return None
+        if self._draining:
+            exc = ProtocolError(protocol.ERR_SHUTTING_DOWN, "server is draining")
+            await self._send_error(writer, 0, exc, version=protocol.PROTOCOL_V1)
+            return None
         version = protocol.negotiate(hello.min_version, hello.max_version, self.versions)
         if version is None:
             exc = ProtocolError(
@@ -194,17 +382,37 @@ class NetworkKmsServer:
         await self._send(writer, Welcome(server_id=self.server_id), version)
         return version
 
-    async def _serve_requests(self, reader, writer, version: int) -> None:
+    async def _serve_requests(self, reader, writer, version: int, conn_id: int) -> None:
+        assert self._drain_event is not None
         while True:
+            read_task = asyncio.ensure_future(
+                protocol.read_frame(reader, self.max_frame_bytes)
+            )
+            drain_task = asyncio.ensure_future(self._drain_event.wait())
             try:
-                body = await protocol.read_frame(reader, self.max_frame_bytes)
+                done, _pending = await asyncio.wait(
+                    {read_task, drain_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+            finally:
+                for waiter in (read_task, drain_task):
+                    if not waiter.done():
+                        waiter.cancel()
+            if drain_task in done and read_task not in done:
+                # Idle connection during drain: tell the peer why and close.
+                await asyncio.gather(read_task, return_exceptions=True)
+                exc = ProtocolError(protocol.ERR_SHUTTING_DOWN, "server is draining")
+                await self._send_error(writer, 0, exc, version)
+                return
+            await asyncio.gather(drain_task, return_exceptions=True)
+            try:
+                body = read_task.result()
             except ProtocolError as exc:
                 # The stream is out of frame sync; report and drop it.
                 await self._send_error(writer, 0, exc, version)
                 return
             try:
                 message = protocol.decode_body(body, expected_version=version)
-                response = await self._dispatch(message, version)
+                response = await self._dispatch(message, version, conn_id)
             except ProtocolError as exc:
                 request_id = _request_id_of(body)
                 await self._send_error(writer, request_id, exc, version)
@@ -213,14 +421,20 @@ class NetworkKmsServer:
                 continue
             await self._send(writer, response, version)
 
-    async def _dispatch(self, message: Message, version: int) -> Message:
+    async def _dispatch(self, message: Message, version: int, conn_id: int) -> Message:
+        if self._draining:
+            # A request that arrives once draining has begun is "new" by
+            # definition — in-flight requests are already past this gate.
+            raise ProtocolError(protocol.ERR_SHUTTING_DOWN, "server is draining")
         self.metrics.note_request(type(message).__name__)
+        if self.request_hook is not None:
+            await self.request_hook(message)
         if isinstance(message, Status):
             return self._on_status(message)
         if isinstance(message, Capabilities):
             return self._on_capabilities(message)
         if isinstance(message, Reserve):
-            return await self._on_reserve(message)
+            return await self._on_reserve(message, version, conn_id)
         if isinstance(message, Consume):
             return await self._on_consume(message)
         if isinstance(message, Release):
@@ -267,7 +481,7 @@ class NetworkKmsServer:
             pairs=tuple(sorted(self.stores)),
         )
 
-    async def _on_reserve(self, message: Reserve) -> ReserveOk:
+    async def _on_reserve(self, message: Reserve, version: int, conn_id: int) -> ReserveOk:
         started = time.perf_counter()
         store = self._store_for(message.pair)
         if not 0 < message.bits <= self.max_reserve_bits:
@@ -275,30 +489,53 @@ class NetworkKmsServer:
                 protocol.ERR_LIMIT,
                 f"reserve of {message.bits} bits outside (0, {self.max_reserve_bits}]",
             )
+        self.reap_expired()
         async with self._locks[message.pair]:
+            now = self._now()
             try:
-                reservation = store.reserve(message.bits, now=self._now())
+                reservation = store.reserve(message.bits, now=now)
             except KeyStoreExhaustedError as exc:
                 self.metrics.note_reserve(time.perf_counter() - started, granted=False)
                 raise ProtocolError(protocol.ERR_EXHAUSTED, str(exc)) from None
-            self._held[(message.pair, reservation.reservation_id)] = reservation
+            self._held[(message.pair, reservation.reservation_id)] = HeldReservation(
+                reservation=reservation,
+                owner=conn_id,
+                expires_at=now + self.lease_seconds,
+            )
         self.metrics.note_reserve(time.perf_counter() - started, granted=True)
         return ReserveOk(
             request_id=message.request_id,
             reservation_id=reservation.reservation_id,
             bits=reservation.bits,
+            lease_ms=int(self.lease_seconds * 1000),
         )
 
     async def _on_consume(self, message: Consume) -> ConsumeOk:
         store = self._store_for(message.pair)
+        self.reap_expired()
+        key = (message.pair, message.reservation_id)
         async with self._locks[message.pair]:
-            reservation = self._held.pop((message.pair, message.reservation_id), None)
-            if reservation is None:
+            replay = self._served.get(key)
+            if replay is not None:
+                # Idempotent retry: the reservation was already consumed but
+                # the reply may never have reached the client.  Re-deliver
+                # the identical bytes; the material was served (and entered
+                # the digest) exactly once.
+                self.metrics.note_replay()
+                return ConsumeOk(
+                    request_id=message.request_id,
+                    reservation_id=message.reservation_id,
+                    key_bits=replay.key_bits,
+                    key_bytes=replay.key_bytes,
+                )
+            held = self._held.pop(key, None)
+            if held is None:
                 raise ProtocolError(
                     protocol.ERR_UNKNOWN_RESERVATION,
                     f"no held reservation {message.reservation_id} "
                     f"for {message.pair[0]}--{message.pair[1]}",
                 )
+            reservation = held.reservation
             # Both endpoints' pools advance in lock-step, exactly as the
             # in-process gateways do, so the store stays synchronised for
             # every later consumer; the (identical) material is served once.
@@ -309,6 +546,13 @@ class NetworkKmsServer:
             raise ProtocolError(protocol.ERR_INTERNAL, "store pools desynchronised")
         key_bytes = local.to_bytes()
         self.metrics.note_key_served(key_bytes, len(local))
+        self._served[key] = ServedReservation(
+            key_bits=len(local),
+            key_bytes=key_bytes,
+            expires_at=self._now() + self.replay_retention_seconds,
+        )
+        while len(self._served) > REPLAY_CACHE_LIMIT:
+            self._served.pop(next(iter(self._served)))
         return ConsumeOk(
             request_id=message.request_id,
             reservation_id=message.reservation_id,
@@ -318,15 +562,16 @@ class NetworkKmsServer:
 
     async def _on_release(self, message: Release) -> ReleaseOk:
         store = self._store_for(message.pair)
+        self.reap_expired()
         async with self._locks[message.pair]:
-            reservation = self._held.pop((message.pair, message.reservation_id), None)
-            if reservation is None:
+            held = self._held.pop((message.pair, message.reservation_id), None)
+            if held is None:
                 raise ProtocolError(
                     protocol.ERR_UNKNOWN_RESERVATION,
                     f"no held reservation {message.reservation_id} "
                     f"for {message.pair[0]}--{message.pair[1]}",
                 )
-            store.release(reservation)
+            store.release(held.reservation)
         return ReleaseOk(
             request_id=message.request_id,
             reservation_id=message.reservation_id,

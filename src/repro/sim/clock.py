@@ -73,6 +73,23 @@ class EventScheduler:
             raise ValueError("delay must be non-negative")
         return self.schedule_at(self.clock.now() + delay, callback, label)
 
+    def schedule_window(
+        self,
+        start: float,
+        end: float,
+        on_start: Callable[[], None],
+        on_end: Callable[[], None],
+        label: str = "",
+    ) -> tuple:
+        """Schedule a bounded condition: ``on_start`` at ``start``, ``on_end``
+        at ``end`` (a link outage, a maintenance window).  Returns both
+        events so either edge can still be cancelled."""
+        if end < start:
+            raise ValueError("window must end at or after it starts")
+        opening = self.schedule_at(start, on_start, label=f"{label}/start" if label else "")
+        closing = self.schedule_at(end, on_end, label=f"{label}/end" if label else "")
+        return (opening, closing)
+
     @property
     def pending(self) -> int:
         """Number of not-yet-run, not-cancelled events."""

@@ -3,12 +3,63 @@
 Everything stochastic is seeded so the suite is deterministic; tests that
 check statistical properties use sample sizes large enough that the assertion
 bands hold with very large margin for the fixed seeds.
+
+This file also arms a per-test watchdog (SIGALRM-based, since the
+environment has no ``pytest-timeout``): an asyncio test that deadlocks —
+a pending future nobody fails, a drain that never completes — raises a
+``Failed`` with a traceback of where it hung instead of stalling CI
+forever.  Override per test with ``@pytest.mark.timeout(seconds)``.
 """
+
+import signal
 
 import pytest
 
 from repro.optics.channel import ChannelParameters, QuantumChannel
 from repro.util.rng import DeterministicRNG
+
+#: Generous default — the slowest legitimate tests (parallel runtime,
+#: Monte-Carlo frames) finish well inside it on a loaded CI worker.
+DEFAULT_TEST_TIMEOUT_SECONDS = 120.0
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): override the per-test watchdog timeout",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Fail (don't hang) any test that outlives its timeout.
+
+    SIGALRM interrupts whatever the test is blocked in — including an
+    event loop awaiting a future that will never resolve — so a hung
+    asyncio test reports *where* it hung.  Only available on the main
+    thread of Unix; anywhere else the watchdog quietly stands down.
+    """
+    marker = item.get_closest_marker("timeout")
+    limit = float(marker.args[0]) if marker and marker.args else (
+        DEFAULT_TEST_TIMEOUT_SECONDS
+    )
+    use_alarm = hasattr(signal, "SIGALRM") and limit > 0
+
+    def on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {limit:.0f}s watchdog (likely a hang)",
+            pytrace=True,
+        )
+
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        return (yield)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

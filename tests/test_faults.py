@@ -1,0 +1,390 @@
+"""Tests for the deterministic fault plane and the disruption-tolerant
+netkms stack (repro.faults + netkms leases/retry/drain).
+
+The centrepiece is the pinned chaos soak: a scripted fault schedule that
+guarantees at least one connection drop mid-CONSUME, one server stall past
+the client's request timeout, and one lease-expiry reap — and the contract
+that survives it is the strong one: every requested key is served exactly
+once, no two keys overlap, the order-independent served digest equals the
+fault-free run's, and every reaped bit reconciles with the store's own
+released-bits ledger (no reservation leak).
+"""
+
+import asyncio
+import hashlib
+import struct
+
+import pytest
+
+from repro.faults import (
+    DELAY,
+    DROP_AFTER,
+    DROP_BEFORE,
+    REFUSE,
+    SITE_CLIENT_RX,
+    SITE_CLIENT_TX,
+    SITE_CONNECT,
+    SITE_SERVER_REQUEST,
+    STALL,
+    TRUNCATE,
+    FaultAction,
+    FaultPlane,
+    FaultyConnector,
+    LinkFlapper,
+    draw_flap_windows,
+    drive_flaps,
+    stall_hook,
+)
+from repro.kms.store import KeyStore
+from repro.netkms import protocol
+from repro.netkms.client import NetworkKmsClient
+from repro.netkms.resilient import ResilientKmsClient, RetryPolicy
+from repro.netkms.server import NetworkKmsServer
+from repro.sim.clock import EventScheduler
+from repro.util.bits import BitString
+from repro.util.rng import DeterministicRNG
+
+PAIR = ("alice", "bob")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def counter_material(bits):
+    return BitString.from_bytes(
+        b"".join(struct.pack(">Q", i) for i in range(bits // 64))
+    )
+
+
+def make_store(bits=1 << 15):
+    store = KeyStore(PAIR, capacity_bits=max(bits, 1 << 20))
+    store.deposit(counter_material(bits))
+    return store
+
+
+def chunk_digest(chunks):
+    """The same order-independent digest the server metrics compute."""
+    rollup = hashlib.sha256()
+    for digest in sorted(hashlib.sha256(c).digest() for c in chunks):
+        rollup.update(digest)
+    return rollup.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# The plane: determinism, scripting, stats
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultPlane:
+    RATES = {
+        SITE_CLIENT_TX: {DROP_BEFORE: 0.2, TRUNCATE: 0.1},
+        SITE_CONNECT: {REFUSE: 0.3},
+    }
+
+    def decisions(self, seed, n=40):
+        plane = FaultPlane(DeterministicRNG(seed), rates=self.RATES)
+        out = []
+        for site in (SITE_CLIENT_TX, SITE_CONNECT):
+            out.extend(plane.decide(site) for _ in range(n))
+        return plane, out
+
+    def test_same_seed_replays_identically(self):
+        _, first = self.decisions(11)
+        _, second = self.decisions(11)
+        assert first == second
+        assert any(a is not None for a in first)
+
+    def test_different_seeds_diverge(self):
+        _, first = self.decisions(11)
+        _, second = self.decisions(12)
+        assert first != second
+
+    def test_decisions_are_index_aligned_across_interleavings(self):
+        # Drawing sites in a different order must not change any site's
+        # per-index decisions: each index has its own labeled stream.
+        plane_a = FaultPlane(DeterministicRNG(5), rates=self.RATES)
+        plane_b = FaultPlane(DeterministicRNG(5), rates=self.RATES)
+        a = [plane_a.decide(SITE_CLIENT_TX) for _ in range(20)]
+        [plane_a.decide(SITE_CONNECT) for _ in range(20)]
+        [plane_b.decide(SITE_CONNECT) for _ in range(20)]
+        b = [plane_b.decide(SITE_CLIENT_TX) for _ in range(20)]
+        assert a == b
+
+    def test_scripted_rule_beats_the_stochastic_draw(self):
+        plane = FaultPlane(DeterministicRNG(0))
+        plane.script(SITE_CLIENT_TX, 2, FaultAction(DROP_AFTER))
+        decisions = [plane.decide(SITE_CLIENT_TX) for _ in range(4)]
+        assert [d.kind if d else None for d in decisions] == [
+            None,
+            None,
+            DROP_AFTER,
+            None,
+        ]
+        assert plane.stats.injected_by_kind == {DROP_AFTER: 1}
+        assert plane.stats.ops_by_site == {SITE_CLIENT_TX: 4}
+
+    def test_unknown_sites_and_mismatched_kinds_rejected(self):
+        plane = FaultPlane(DeterministicRNG(0))
+        with pytest.raises(ValueError):
+            plane.decide("not-a-site")
+        with pytest.raises(ValueError):
+            plane.script(SITE_CONNECT, 0, FaultAction(DROP_AFTER))
+        with pytest.raises(ValueError):
+            FaultPlane(rates={SITE_SERVER_REQUEST: {REFUSE: 0.5}})
+
+    def test_downed_link_refuses_connects_and_drops_frames(self):
+        plane = FaultPlane(DeterministicRNG(0))
+        plane.take_down()
+        assert plane.decide(SITE_CONNECT).kind == REFUSE
+        assert plane.decide(SITE_CLIENT_TX).kind == DROP_BEFORE
+        plane.bring_up()
+        assert plane.decide(SITE_CONNECT) is None
+
+    def test_facade_derives_the_plane_from_the_system_seed(self):
+        from repro import QKDSystem
+
+        a = QKDSystem(seed=9).fault_plane(rates={SITE_CONNECT: {REFUSE: 0.5}})
+        b = QKDSystem(seed=9).fault_plane(rates={SITE_CONNECT: {REFUSE: 0.5}})
+        assert [a.decide(SITE_CONNECT) for _ in range(30)] == [
+            b.decide(SITE_CONNECT) for _ in range(30)
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# Link flaps
+# --------------------------------------------------------------------------- #
+
+
+class TestLinkFlaps:
+    def test_windows_are_deterministic_and_ordered(self):
+        rng = DeterministicRNG(3)
+        first = draw_flap_windows(rng, 100.0, mean_up_seconds=10.0, mean_down_seconds=2.0)
+        second = draw_flap_windows(
+            DeterministicRNG(3), 100.0, mean_up_seconds=10.0, mean_down_seconds=2.0
+        )
+        assert first == second and first
+        for window in first:
+            assert 0.0 <= window.down_at < window.up_at <= 100.0
+        for earlier, later in zip(first, first[1:]):
+            assert earlier.up_at <= later.down_at
+
+    def test_flapper_toggles_the_plane_on_sim_time(self):
+        plane = FaultPlane(DeterministicRNG(0))
+        scheduler = EventScheduler()
+        windows = draw_flap_windows(
+            DeterministicRNG(3), 50.0, mean_up_seconds=10.0, mean_down_seconds=2.0
+        )
+        LinkFlapper(plane, scheduler).apply(windows)
+        mid_outage = windows[0].down_at + windows[0].duration / 2
+        scheduler.run_until(mid_outage)
+        assert not plane.link_up
+        scheduler.run_until(windows[-1].up_at)
+        assert plane.link_up
+
+    def test_drive_flaps_restores_the_link_even_when_cancelled(self):
+        async def scenario():
+            plane = FaultPlane(DeterministicRNG(0))
+            windows = draw_flap_windows(
+                DeterministicRNG(3), 10.0, mean_up_seconds=1.0, mean_down_seconds=5.0
+            )
+
+            async def instant(_delay):
+                await asyncio.sleep(0)
+
+            task = asyncio.ensure_future(
+                drive_flaps(plane, windows * 100, time_scale=1.0, sleep=instant)
+            )
+            await asyncio.sleep(0.01)
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            return plane.link_up
+
+        assert run(scenario()) is True
+
+
+# --------------------------------------------------------------------------- #
+# The pinned chaos soak
+# --------------------------------------------------------------------------- #
+
+KEY_BITS = 256
+MAIN_KEYS = 6
+LEASE = 0.5  # fake-clock seconds
+
+
+def chaos_soak(faulted):
+    """One full soak run; returns everything the assertions need.
+
+    The fault schedule is *scripted*, so each required scenario is pinned:
+
+    * main-client tx op 4 is the CONSUME of its second key — DROP_AFTER
+      cuts the connection with the request already flushed (the server
+      consumes; the reply is lost; the retry must hit the replay cache);
+    * server request op 8 stalls 0.4 s, past the client's 0.15 s request
+      timeout (the client must time out, reconnect, and retry);
+    * the laggard client's reservation is left un-consumed while the fake
+      server clock jumps past its lease (the reaper must return the bits,
+      and the laggard must recover by re-reserving).
+    """
+    clock = {"t": 0.0}
+
+    async def fake_sleep(delay):
+        # Client backoffs advance the server's (injected) clock, so lease
+        # arithmetic runs in controlled time while asyncio stays real.
+        clock["t"] += delay
+        await asyncio.sleep(0.01)
+
+    async def scenario():
+        store = make_store(1 << 15)
+        plane = FaultPlane(DeterministicRNG(2026))
+        if faulted:
+            plane.script(SITE_CLIENT_TX, 4, FaultAction(DROP_AFTER))
+            plane.script(
+                SITE_SERVER_REQUEST, 8, FaultAction(STALL, delay_seconds=0.4)
+            )
+        server = NetworkKmsServer(
+            {PAIR: store},
+            port=0,
+            now=lambda: clock["t"],
+            lease_seconds=LEASE,
+            reap_interval_seconds=None,
+            request_hook=stall_hook(plane) if faulted else None,
+        )
+        await server.start()
+        delivered = []
+        try:
+            laggard = NetworkKmsClient("127.0.0.1", server.port)
+            await laggard.connect()
+            handle = await laggard.reserve(PAIR, KEY_BITS)
+
+            main = ResilientKmsClient(
+                "127.0.0.1",
+                server.port,
+                rng=DeterministicRNG(2026),
+                connector=FaultyConnector(plane) if faulted else None,
+                sleep=fake_sleep,
+                policy=RetryPolicy(
+                    max_attempts=8,
+                    base_backoff_seconds=0.05,
+                    max_backoff_seconds=0.2,
+                    request_timeout_seconds=0.15,
+                ),
+            )
+            for _ in range(MAIN_KEYS):
+                key = await main.get_key(PAIR, KEY_BITS)
+                delivered.append(key.key_bytes)
+            await main.close()
+
+            # The laggard outlives its lease; the reaper takes the bits back.
+            clock["t"] += 2 * LEASE + 0.1
+            server.reap_expired()
+            with pytest.raises(protocol.ServerError) as excinfo:
+                await laggard.consume(handle)
+            assert excinfo.value.code == protocol.ERR_UNKNOWN_RESERVATION
+            recovered = await laggard.get_key(PAIR, KEY_BITS)
+            delivered.append(recovered.key_bytes)
+            await laggard.close()
+            return delivered, store, server.metrics, main.stats
+        finally:
+            await server.stop()
+
+    return run(scenario())
+
+
+class TestChaosSoak:
+    def test_exactly_once_with_digest_equal_to_fault_free_run(self):
+        faulted_keys, faulted_store, metrics, stats = chaos_soak(faulted=True)
+        clean_keys, clean_store, clean_metrics, _ = chaos_soak(faulted=False)
+
+        # Every requested key arrived, exactly once, in both runs.
+        assert len(faulted_keys) == len(clean_keys) == MAIN_KEYS + 1
+        counters = [
+            word
+            for chunk in faulted_keys
+            for (word,) in struct.iter_unpack(">Q", chunk)
+        ]
+        assert len(counters) == len(set(counters)), "overlapping key material"
+
+        # Faults may change timing, never key material: the client-side and
+        # server-side digests match the fault-free run.
+        assert chunk_digest(faulted_keys) == chunk_digest(clean_keys)
+        assert metrics.served_digest() == clean_metrics.served_digest()
+
+        # The pinned scenarios actually happened.
+        assert metrics.consume_replays >= 1, "no drop-mid-consume was absorbed"
+        assert stats.timeouts >= 1, "no stall outlived the client timeout"
+        assert stats.reconnects >= 1
+        assert metrics.reaped_by_reason.get("lease-expired", 0) >= 1
+
+        # No reservation leak, faulted or not: reaped bits reconcile with
+        # the stores' own released-bits ledger, and nothing stays reserved.
+        for store, report in (
+            (faulted_store, metrics),
+            (clean_store, clean_metrics),
+        ):
+            assert report.reaped_bits == store.statistics.bits_released
+            assert store.reserved_bits == 0
+
+    def test_recovery_stats_feed_the_bench(self):
+        _, _, _, stats = chaos_soak(faulted=True)
+        assert stats.retries >= 1
+        assert stats.recovery_seconds, "recoveries must be measured"
+        assert all(t >= 0 for t in stats.recovery_seconds)
+
+
+# --------------------------------------------------------------------------- #
+# Stochastic sweep: aggression without losing exactly-once
+# --------------------------------------------------------------------------- #
+
+
+class TestStochasticChaos:
+    def test_random_faults_never_double_serve(self):
+        async def scenario():
+            store = make_store(1 << 15)
+            plane = FaultPlane(
+                DeterministicRNG(7),
+                rates={
+                    SITE_CONNECT: {REFUSE: 0.1},
+                    SITE_CLIENT_TX: {DROP_BEFORE: 0.06, DROP_AFTER: 0.06},
+                    SITE_CLIENT_RX: {DROP_BEFORE: 0.06, DELAY: 0.1},
+                },
+                delay_range=(0.001, 0.005),
+            )
+            server = NetworkKmsServer(
+                {PAIR: store}, port=0, lease_seconds=5.0, reap_interval_seconds=None
+            )
+            await server.start()
+            try:
+                client = ResilientKmsClient(
+                    "127.0.0.1",
+                    server.port,
+                    rng=DeterministicRNG(7),
+                    connector=FaultyConnector(plane),
+                    policy=RetryPolicy(
+                        max_attempts=10,
+                        base_backoff_seconds=0.005,
+                        max_backoff_seconds=0.02,
+                        request_timeout_seconds=0.5,
+                    ),
+                )
+                keys = [
+                    (await client.get_key(PAIR, KEY_BITS)).key_bytes
+                    for _ in range(12)
+                ]
+                await client.close()
+                return keys, plane, store, server.metrics
+            finally:
+                await server.stop()
+
+        keys, plane, store, metrics = run(scenario())
+        assert len(keys) == 12
+        counters = [
+            word for chunk in keys for (word,) in struct.iter_unpack(">Q", chunk)
+        ]
+        assert len(counters) == len(set(counters))
+        assert plane.stats.injections >= 1, "sweep injected nothing"
+        assert metrics.reaped_bits == store.statistics.bits_released
+        assert store.reserved_bits == 0

@@ -110,7 +110,7 @@ class TestCodecRoundTrips:
             pairs=(PAIR, ("carol", "dave")),
         ),
         Reserve(request_id=5, pair=PAIR, bits=1024),
-        ReserveOk(request_id=5, reservation_id=17, bits=1024),
+        ReserveOk(request_id=5, reservation_id=17, bits=1024, lease_ms=30_000),
         Consume(request_id=6, pair=PAIR, reservation_id=17),
         ConsumeOk(request_id=6, reservation_id=17, key_bits=24, key_bytes=b"abc"),
         Release(request_id=7, pair=PAIR, reservation_id=18),
@@ -127,6 +127,10 @@ class TestCodecRoundTrips:
             # The v2-only field does not travel at v1.
             assert decoded.depletion_rate_millibps is None
             message = StatusOk(**{**message.__dict__, "depletion_rate_millibps": None})
+        if isinstance(message, ReserveOk) and version < protocol.PROTOCOL_V3:
+            # The v3-only lease term does not travel below v3.
+            assert decoded.lease_ms is None
+            message = ReserveOk(**{**message.__dict__, "lease_ms": None})
         assert decoded == message
 
     def test_kinds_live_inside_the_reserved_wire_range(self):
@@ -260,6 +264,37 @@ class TestVersionInterop:
         assert version == 2
         assert status.depletion_rate_millibps is not None
         assert key.key_bits == 256
+
+    def reserve_interop(self, server_versions, client_versions):
+        async def scenario():
+            server = await started_server(versions=server_versions)
+            try:
+                client = NetworkKmsClient(
+                    "127.0.0.1", server.port, versions=client_versions
+                )
+                async with client:
+                    handle = await client.reserve(PAIR, bits=256)
+                    await client.release(handle)
+                    return client.version, handle
+            finally:
+                await server.stop()
+
+        return run(scenario())
+
+    def test_v2_client_v3_server_gets_no_lease_term(self):
+        version, handle = self.reserve_interop((1, 2, 3), (1, 2))
+        assert version == 2
+        assert handle.lease_ms is None
+
+    def test_v3_client_v2_server_gets_no_lease_term(self):
+        version, handle = self.reserve_interop((1, 2), (1, 2, 3))
+        assert version == 2
+        assert handle.lease_ms is None
+
+    def test_v3_both_sides_carries_the_lease_term(self):
+        version, handle = self.reserve_interop((1, 2, 3), (1, 2, 3))
+        assert version == 3
+        assert handle.lease_ms is not None and handle.lease_ms > 0
 
     def test_disjoint_ranges_rejected_with_typed_error(self):
         async def scenario():
@@ -397,15 +432,17 @@ class TestStoreSemantics:
                     assert store.reserved_bits == 1024
                     served = await client.consume(first)
                     assert store.reserved_bits == 0
-                    with pytest.raises(ServerError) as stale:
-                        await client.consume(first)
-                    return served, stale.value, store
+                    # A re-issued CONSUME is idempotent: the replay cache
+                    # re-delivers the identical bytes (drawn exactly once).
+                    replayed = await client.consume(first)
+                    return served, replayed, store, server.metrics
             finally:
                 await server.stop()
 
-        served, stale, store = run(scenario())
+        served, replayed, store, metrics = run(scenario())
         assert served.key_bits == 1024
-        assert stale.code == protocol.ERR_UNKNOWN_RESERVATION
+        assert replayed.key_bytes == served.key_bytes
+        assert metrics.keys_served == 1 and metrics.consume_replays == 1
         assert store.available_bits == 4096 - 1024
         # Both pools advanced in lock-step; the store stays synchronised.
         assert store.local_pool.available_bits == store.remote_pool.available_bits
@@ -597,3 +634,259 @@ class TestFacadeAndMetrics:
         for chunk in reversed(chunks):
             backward.note_key_served(chunk, len(chunk) * 8)
         assert forward.served_digest() == backward.served_digest()
+
+
+# --------------------------------------------------------------------------- #
+# Disruption tolerance: reaping, drain, and failing peers
+# --------------------------------------------------------------------------- #
+
+
+class TestReservationReaping:
+    def test_disconnect_returns_held_bits_to_the_store(self):
+        async def scenario():
+            store = make_store(bits=4096)
+            server = await started_server({PAIR: store})
+            try:
+                client = NetworkKmsClient("127.0.0.1", server.port)
+                await client.connect()
+                await client.reserve(PAIR, 1024)
+                assert store.reserved_bits == 1024
+                await client.close()  # dies between RESERVE and CONSUME
+                # Wait until the server notices the disconnect and reaps.
+                for _ in range(200):
+                    if server.held_reservations == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                return store, server.metrics
+            finally:
+                await server.stop()
+
+        store, metrics = run(scenario())
+        assert store.reserved_bits == 0
+        assert store.available_bits == 4096
+        assert metrics.reaped_by_reason == {"disconnect": 1}
+        # The no-leak invariant: the reaper's ledger reconciles with the
+        # store's own released-bits ledger.
+        assert metrics.reaped_bits == store.statistics.bits_released == 1024
+
+    def test_lease_expiry_reaps_while_the_owner_lives(self):
+        clock = {"t": 100.0}
+
+        async def scenario():
+            store = make_store(bits=4096)
+            server = await started_server(
+                {PAIR: store},
+                now=lambda: clock["t"],
+                lease_seconds=0.5,
+                reap_interval_seconds=None,  # lazy + explicit reaping only
+            )
+            try:
+                async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                    handle = await client.reserve(PAIR, 1024)
+                    assert handle.lease_ms == 500
+                    clock["t"] += 1.0  # outlive the lease; connection stays up
+                    freed = server.reap_expired()
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.consume(handle)
+                    # The client recovers by re-reserving on the same
+                    # connection; no material was lost or double-served.
+                    key = await client.get_key(PAIR, 1024)
+                    return freed, excinfo.value, key, store, server.metrics
+            finally:
+                await server.stop()
+
+        freed, error, key, store, metrics = run(scenario())
+        assert freed == 1024
+        assert error.code == protocol.ERR_UNKNOWN_RESERVATION
+        assert key.key_bits == 1024
+        assert metrics.reaped_by_reason == {"lease-expired": 1}
+        assert metrics.reaped_bits == store.statistics.bits_released == 1024
+
+    def test_stop_reaps_everything_still_held(self):
+        async def scenario():
+            store = make_store(bits=4096)
+            server = await started_server({PAIR: store})
+            client = NetworkKmsClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.reserve(PAIR, 512)
+            await client.reserve(PAIR, 512)
+            await server.stop(drain_timeout=1.0)
+            await client.close()
+            return store, server.metrics
+
+        store, metrics = run(scenario())
+        assert store.reserved_bits == 0
+        assert metrics.reservations_reaped == 2
+        assert metrics.reaped_bits == store.statistics.bits_released == 1024
+
+
+class TestGracefulDrain:
+    def test_in_flight_request_finishes_then_new_ones_are_rejected(self):
+        entered = asyncio.Event()
+        hold = asyncio.Event()
+
+        async def gate(message):
+            if isinstance(message, Consume):
+                entered.set()
+                await hold.wait()
+
+        async def scenario():
+            store = make_store(bits=4096)
+            server = await started_server({PAIR: store}, request_hook=gate)
+            client = NetworkKmsClient("127.0.0.1", server.port)
+            await client.connect()
+            handle = await client.reserve(PAIR, 1024)
+            consume_task = asyncio.ensure_future(client.consume(handle))
+            await entered.wait()
+            stop_task = asyncio.ensure_future(server.stop(drain_timeout=2.0))
+            await asyncio.sleep(0.05)  # stop is now waiting on the dispatch
+            hold.set()
+            served = await consume_task
+            await stop_task
+            await client.close()
+            # The listener is gone: nobody new can connect.
+            with pytest.raises(ConnectionError):
+                await NetworkKmsClient("127.0.0.1", server.port).connect()
+            return served, store
+
+        served, store = run(scenario())
+        assert served.key_bits == 1024
+        assert store.reserved_bits == 0
+
+    def test_request_after_drain_gets_typed_shutting_down_error(self):
+        async def scenario():
+            server = await started_server()
+            async with NetworkKmsClient("127.0.0.1", server.port) as client:
+                await client.status(PAIR)
+                # Flip the drain gate directly (stop() would also close the
+                # connection before a request could be written).
+                server._draining = True
+                with pytest.raises(ServerError) as excinfo:
+                    await client.status(PAIR)
+                await server.stop(drain_timeout=0.5)
+                return excinfo.value
+
+        error = run(scenario())
+        assert error.code == protocol.ERR_SHUTTING_DOWN
+        assert protocol.ERROR_NAMES[error.code] == "shutting-down"
+        assert error.code in protocol.FATAL_ERRORS
+
+
+class TestFailingPeers:
+    async def _stub_server(self, behaviour):
+        """A server speaking just enough protocol to misbehave on cue.
+
+        ``behaviour(reader, writer)`` runs after a completed handshake.
+        """
+
+        async def handler(reader, writer):
+            try:
+                await protocol.read_frame(reader)  # HELLO
+                welcome = protocol.Welcome(server_id="stub")
+                writer.write(encode_frame(welcome, protocol.SUPPORTED_VERSIONS[-1]))
+                await writer.drain()
+                await behaviour(reader, writer)
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+        return server, server.sockets[0].getsockname()[1]
+
+    def test_mid_burst_close_fails_every_pending_future_fast(self):
+        """Satellite: a server dying mid-pipelined-burst must fail every
+        pending request with ConnectionError — not hang — and the client
+        must be reusable after a reconnect."""
+
+        async def die_after_two_frames(reader, writer):
+            await protocol.read_frame(reader)
+            await protocol.read_frame(reader)
+            writer.transport.abort()
+
+        async def scenario():
+            stub, port = await self._stub_server(die_after_two_frames)
+            client = NetworkKmsClient("127.0.0.1", port)
+            await client.connect()
+            burst = [
+                asyncio.ensure_future(client.status(PAIR)) for _ in range(6)
+            ]
+            results = await asyncio.wait_for(
+                asyncio.gather(*burst, return_exceptions=True), timeout=5.0
+            )
+            await client.close()
+            stub.close()
+            await stub.wait_closed()
+
+            # Same client object reconnects to a real server and serves.
+            real = await started_server()
+            try:
+                client.port = real.port
+                await client.connect()
+                key = await client.get_key(PAIR, bits=256)
+                await client.close()
+            finally:
+                await real.stop()
+            return results, key
+
+        results, key = run(scenario())
+        assert len(results) == 6
+        assert all(isinstance(r, ConnectionError) for r in results)
+        assert key.key_bits == 256
+
+    def test_connect_failure_after_tcp_open_closes_the_socket(self):
+        """Satellite: a handshake that dies after the TCP connect must not
+        leak the socket, whichever way it dies."""
+
+        async def scenario():
+            # Case 1: server closes without a WELCOME (IncompleteReadError).
+            async def slam(reader, writer):
+                await protocol.read_frame(reader)
+                writer.close()
+
+            async def garbage(reader, writer):
+                await protocol.read_frame(reader)
+                writer.write(struct.pack("<I", 0xFFFFFFF0))
+                await writer.drain()
+
+            outcomes = []
+            for behaviour, expected in (
+                (slam, asyncio.IncompleteReadError),
+                (garbage, ProtocolError),
+            ):
+                server = await asyncio.start_server(
+                    behaviour, host="127.0.0.1", port=0
+                )
+                port = server.sockets[0].getsockname()[1]
+                client = NetworkKmsClient("127.0.0.1", port)
+                with pytest.raises(expected):
+                    await client.connect()
+                # Teardown ran: no dangling stream, and the client can try
+                # again (connect() refuses only while a writer is live).
+                outcomes.append(
+                    client._writer is None
+                    and client._reader is None
+                    and client._reader_task is None
+                )
+                server.close()
+                await server.wait_closed()
+            return outcomes
+
+        assert run(scenario()) == [True, True]
+
+    def test_request_timeout_is_typed_and_releases_the_caller(self):
+        from repro.netkms.client import RequestTimeoutError
+
+        async def stall_forever(reader, writer):
+            await protocol.read_frame(reader)
+            await asyncio.sleep(30)
+
+        async def scenario():
+            stub, port = await self._stub_server(stall_forever)
+            client = NetworkKmsClient("127.0.0.1", port, request_timeout=0.1)
+            await client.connect()
+            with pytest.raises(RequestTimeoutError):
+                await asyncio.wait_for(client.status(PAIR), timeout=5.0)
+            await client.close()
+            stub.close()
+            await stub.wait_closed()
+
+        run(scenario())
