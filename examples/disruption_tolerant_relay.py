@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Disruption-tolerant key relay: custody transfer over a satellite pass.
+
+Two ground stations share no fibre; their only QKD path crosses a LEO
+satellite relay that sees each station for ninety seconds per pass — and
+never both at once.  No end-to-end path exists at any single instant, so
+live trusted-relay transport can never succeed.  ``repro.dtn`` handles it
+the DTN way: the eastern station banks key bundles with the satellite
+while it is overhead (custody transfer, one OTP hop), the satellite
+carries them across the gap, and hands them down on the next western
+pass.  The delivered key material is digest-identical to a run where
+both links are up the whole time.
+
+Run:  python examples/disruption_tolerant_relay.py
+"""
+
+from repro.dtn import ContactSchedule, ContactWindow, CustodyTransport
+from repro.network.relay import TrustedRelayNetwork
+from repro.network.topology import QKDNetwork
+from repro.util.rng import DeterministicRNG
+
+
+def satellite_mesh() -> TrustedRelayNetwork:
+    """ground-east -- leo-sat -- ground-west: the only path is via orbit."""
+    net = QKDNetwork()
+    net.add_endpoint("ground-east")
+    net.add_endpoint("ground-west")
+    net.add_relay("leo-sat")
+    net.add_link("ground-east", "leo-sat", 8.0)
+    net.add_link("leo-sat", "ground-west", 8.0)
+    relays = TrustedRelayNetwork(net, rng=DeterministicRNG(42))
+    relays.run_links_for(90.0)  # distill pairwise pad while building the plan
+    return relays
+
+
+def pass_schedule(orbit_seconds: float = 600.0, passes: int = 3) -> ContactSchedule:
+    """Each orbit: east sees the satellite for 90 s, west 300 s later."""
+    schedule = ContactSchedule()
+    east = [ContactWindow(k * orbit_seconds, k * orbit_seconds + 90.0) for k in range(passes)]
+    west = [
+        ContactWindow(k * orbit_seconds + 300.0, k * orbit_seconds + 390.0)
+        for k in range(passes)
+    ]
+    schedule.set_windows("ground-east", "leo-sat", east)
+    schedule.set_windows("leo-sat", "ground-west", west)
+    return schedule
+
+
+def run(schedule, label: str) -> CustodyTransport:
+    transport = CustodyTransport(
+        satellite_mesh(),
+        schedule=schedule,
+        rng=DeterministicRNG(2003),
+        policy="scheduled",
+        ttl_seconds=3600.0,
+    )
+    timeline = []
+    transport.bind(
+        lambda bundle: timeline.append(
+            f"    t={bundle.delivered_at:7.1f}s  bundle {bundle.bundle_id} delivered "
+            f"({bundle.key_bits} bits, {bundle.hops} hops)"
+        )
+    )
+    print(f"--- {label} ---")
+    now = 0.0
+    for k in range(4):
+        at = k * 400.0
+        transport.run_until(at, start=now)
+        now = at
+        mark = len(timeline)  # instant delivery fires the callback inside submit
+        bundle = transport.submit("ground-east", "ground-west", 256, now=at)
+        timeline.insert(mark, f"    t={at:7.1f}s  bundle {bundle.bundle_id} submitted")
+    transport.run_until(2400.0, start=now)
+    for line in timeline:
+        print(line)
+    metrics = transport.metrics
+    print(
+        f"    delivered {metrics.bundles_delivered}/{metrics.bundles_submitted}, "
+        f"pad consumed {metrics.pad_bits_consumed} bits, "
+        f"occupancy peak {transport.occupancy_peak_bits} bits, "
+        f"drained={transport.drained}"
+    )
+    return transport
+
+
+def main() -> None:
+    print("=== satellite-pass custody relay ===")
+    intermittent = run(pass_schedule(), "intermittent: 90 s passes, never both links up")
+
+    always_on = run(ContactSchedule(), "baseline: both links always up")
+
+    print("\n=== determinism across topologies ===")
+    print(f"    intermittent digest  {intermittent.delivered_digest[:32]}...")
+    print(f"    always-on digest     {always_on.delivered_digest[:32]}...")
+    assert intermittent.delivered_digest == always_on.delivered_digest
+    print("    identical: custody changed *when* keys arrived, never *what* arrived")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,9 @@ Pearson and Troxel as a pure-Python simulation and protocol library:
   stores with reservation semantics, depletion-driven replenishment across
   the mesh, traffic-driven IKE rekey workloads, and failure/attack handling
   under the simulated event clock.
+* :mod:`repro.dtn` — disruption-tolerant key relay: custody transfer of
+  OTP bundles with bounded stores and TTLs, contact-graph routing over
+  time-varying link availability, and scheduled vs epidemic forwarding.
 * :mod:`repro.api` — the top-level facade: :class:`~repro.api.QKDSystem`
   assembles links, VPNs and relay meshes from one config object.
 
@@ -39,6 +42,13 @@ entry points, and ``ROADMAP.md`` for where the system is headed.
 """
 
 from repro.api import MeshSystem, QKDSystem, SystemConfig, VPNSystem
+from repro.dtn import (
+    ContactGraphSelector,
+    ContactSchedule,
+    ContactWindow,
+    CustodyStore,
+    CustodyTransport,
+)
 from repro.kms import (
     KeyManagementService,
     KmsConfig,
@@ -63,4 +73,9 @@ __all__ = [
     "WorkloadProfile",
     "LaneEngine",
     "LaneCompatibilityError",
+    "ContactGraphSelector",
+    "ContactSchedule",
+    "ContactWindow",
+    "CustodyStore",
+    "CustodyTransport",
 ]

@@ -362,6 +362,9 @@ class MeshSystem:
     #: Replenishment-config fields applied on top of whatever ``kms()`` is
     #: handed; populated by :meth:`with_lanes`.
     replenishment_overrides: dict = field(default_factory=dict)
+    #: Custody-config fields applied likewise; populated by
+    #: :meth:`with_custody`.
+    custody_overrides: dict = field(default_factory=dict)
 
     @property
     def network(self):
@@ -387,6 +390,35 @@ class MeshSystem:
             replenishment_overrides={**self.replenishment_overrides, **overrides},
         )
 
+    def with_custody(
+        self,
+        policy: str = "scheduled",
+        ttl_seconds: float = 600.0,
+        capacity_bits: int = 1 << 20,
+        schedule=None,
+    ) -> "MeshSystem":
+        """Make the KMS disruption-tolerant (see :mod:`repro.dtn`).
+
+        Deliveries that find no live path are banked as custody bundles at
+        the furthest reachable relay and store-and-forwarded as contact
+        windows open, instead of starving the pair's store.  ``policy``
+        picks the forwarding policy (``"scheduled"`` contact-graph routing
+        or ``"epidemic"`` flooding); ``schedule`` optionally supplies a
+        :class:`~repro.dtn.contact.ContactSchedule` so the scheduled
+        policy can plan ahead (build one from a flap plan with
+        :meth:`~repro.dtn.contact.ContactSchedule.from_flaps`).
+        """
+        overrides = {
+            "custody": True,
+            "custody_policy": policy,
+            "custody_ttl_seconds": ttl_seconds,
+            "custody_capacity_bits": capacity_bits,
+            "custody_schedule": schedule,
+        }
+        return replace(
+            self, custody_overrides={**self.custody_overrides, **overrides}
+        )
+
     def run_links_for(self, seconds: float) -> None:
         """Let every link distill pairwise key for ``seconds`` seconds."""
         self.relays.run_links_for(seconds)
@@ -397,9 +429,11 @@ class MeshSystem:
         return self.relays.transport_key(source, destination, key_bits)
 
     def transport_with_reroute(
-        self, source: str, destination: str, key_bits: int = 256
+        self, source: str, destination: str, key_bits: int = 256, now: float = 0.0
     ) -> KeyTransportResult:
-        return self.relays.transport_with_reroute(source, destination, key_bits)
+        return self.relays.transport_with_reroute(
+            source, destination, key_bits, now=now
+        )
 
     def endpoints(self) -> Tuple[str, ...]:
         return tuple(
@@ -437,6 +471,8 @@ class MeshSystem:
                     config.replenishment, **self.replenishment_overrides
                 ),
             )
+        if self.custody_overrides:
+            config = replace(config or KmsConfig(), **self.custody_overrides)
         return KeyManagementService(
             self.relays, config=config, workload=workload, rng=rng
         )

@@ -1,0 +1,59 @@
+"""Disruption-tolerant key relay: custody transfer over a contact plan.
+
+The trusted-relay transport of :mod:`repro.network.relay` assumes a live
+end-to-end path at the moment a key must move; when the mesh partitions,
+transport starves.  This package removes that assumption with the
+standard DTN toolkit, specialised to OTP key material:
+
+* :mod:`repro.dtn.contact` — contact windows/schedules (buildable from
+  the fault plane's flap windows) and a contact-graph
+  :class:`~repro.dtn.contact.ContactGraphSelector` with earliest-arrival
+  routing;
+* :mod:`repro.dtn.store` — bounded per-relay custody stores with TTLs
+  and deterministic eviction;
+* :mod:`repro.dtn.policies` — pluggable forwarding (``scheduled``
+  contact-graph routing vs ``epidemic`` flooding with duplicate
+  suppression);
+* :mod:`repro.dtn.transport` — the custody engine tying them together,
+  with exact terminal accounting and an order-independent delivered
+  digest.
+"""
+
+from repro.dtn.contact import ContactGraphSelector, ContactSchedule, ContactWindow
+from repro.dtn.policies import (
+    POLICIES,
+    EpidemicPolicy,
+    ForwardingPolicy,
+    ScheduledPolicy,
+    build_policy,
+)
+from repro.dtn.store import (
+    DELIVERED,
+    EVICTED,
+    EXPIRED,
+    CustodyBundle,
+    CustodyError,
+    CustodyStore,
+    CustodyStoreStats,
+)
+from repro.dtn.transport import CustodyMetrics, CustodyTransport
+
+__all__ = [
+    "DELIVERED",
+    "EVICTED",
+    "EXPIRED",
+    "POLICIES",
+    "ContactGraphSelector",
+    "ContactSchedule",
+    "ContactWindow",
+    "CustodyBundle",
+    "CustodyError",
+    "CustodyMetrics",
+    "CustodyStore",
+    "CustodyStoreStats",
+    "CustodyTransport",
+    "EpidemicPolicy",
+    "ForwardingPolicy",
+    "ScheduledPolicy",
+    "build_policy",
+]

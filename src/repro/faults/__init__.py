@@ -29,7 +29,14 @@ the entire experiment — physics, key material, *and* the disruption
 schedule it survives.
 """
 
-from repro.faults.flaps import FlapWindow, LinkFlapper, draw_flap_windows, drive_flaps
+from repro.faults.flaps import (
+    FlapWindow,
+    LinkFlapper,
+    draw_flap_windows,
+    drive_flaps,
+    invert_windows,
+    merge_windows,
+)
 from repro.faults.net import FaultyConnector, FaultyReader, FaultyWriter, stall_hook
 from repro.faults.plane import (
     DELAY,
@@ -74,5 +81,7 @@ __all__ = [
     "TRUNCATE",
     "draw_flap_windows",
     "drive_flaps",
+    "invert_windows",
+    "merge_windows",
     "stall_hook",
 ]

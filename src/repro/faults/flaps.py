@@ -21,8 +21,9 @@ The windows are plain data; two drivers bind them to a clock:
 from __future__ import annotations
 
 import asyncio
+import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.faults.plane import FaultPlane
 from repro.sim.clock import EventScheduler
@@ -74,6 +75,49 @@ def draw_flap_windows(
     return windows
 
 
+def merge_windows(windows: List[FlapWindow]) -> List[FlapWindow]:
+    """Normalise a flap schedule: sort, merge overlapping/adjacent windows,
+    drop zero-duration ones.
+
+    :func:`draw_flap_windows` already emits disjoint ordered windows; this
+    exists for hand-built schedules (satellite passes, maintenance plans)
+    where "down 10-20" and "down 20-25" describe one outage, and where a
+    zero-length window means "no outage at all".
+    """
+    ordered = sorted(
+        (w for w in windows if w.duration > 0), key=lambda w: (w.down_at, w.up_at)
+    )
+    merged: List[FlapWindow] = []
+    for window in ordered:
+        if merged and window.down_at <= merged[-1].up_at:
+            if window.up_at > merged[-1].up_at:
+                merged[-1] = FlapWindow(merged[-1].down_at, window.up_at)
+            continue
+        merged.append(FlapWindow(window.down_at, window.up_at))
+    return merged
+
+
+def invert_windows(windows: List[FlapWindow]) -> List[Tuple[float, float]]:
+    """The *up* intervals complementary to a flap schedule, over ``[0, inf)``.
+
+    This is how a flap plan (when the link is dead) becomes a contact plan
+    (when material may cross it): the link is up before the first outage,
+    between outages, and after the last one — the final interval is
+    unbounded (``math.inf``) because a flap schedule only describes the
+    outages it contains.  Overlapping/adjacent/zero-length windows are
+    normalised through :func:`merge_windows` first, so hand-built schedules
+    invert correctly.
+    """
+    up: List[Tuple[float, float]] = []
+    t = 0.0
+    for window in merge_windows(windows):
+        if window.down_at > t:
+            up.append((t, window.down_at))
+        t = window.up_at
+    up.append((t, math.inf))
+    return up
+
+
 class LinkFlapper:
     """Bind flap windows to a sim-time scheduler and a fault plane."""
 
@@ -119,4 +163,11 @@ async def drive_flaps(
         plane.bring_up()
 
 
-__all__ = ["FlapWindow", "LinkFlapper", "draw_flap_windows", "drive_flaps"]
+__all__ = [
+    "FlapWindow",
+    "LinkFlapper",
+    "draw_flap_windows",
+    "drive_flaps",
+    "invert_windows",
+    "merge_windows",
+]

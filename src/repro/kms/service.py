@@ -45,6 +45,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep kms asyncio-free
+    from repro.dtn.contact import ContactSchedule
+    from repro.dtn.store import CustodyBundle
+    from repro.dtn.transport import CustodyTransport
     from repro.netkms.server import NetworkKmsServer
 
 from repro.ipsec.gateway import GatewayPair
@@ -92,6 +95,18 @@ class KmsConfig:
     #: Age limit for stored key (None disables expiry).
     max_key_age_seconds: Optional[float] = None
     replenishment: ReplenishmentConfig = field(default_factory=ReplenishmentConfig)
+    #: Disruption tolerance: when on, deliveries that find no live path are
+    #: parked as custody bundles (see :mod:`repro.dtn`) instead of starving.
+    #: Off by default — the pinned always-connected soak digest must not
+    #: change.
+    custody: bool = False
+    custody_ttl_seconds: float = 600.0
+    custody_capacity_bits: int = 1 << 20
+    #: ``"scheduled"`` (contact-graph routing) or ``"epidemic"`` (flooding).
+    custody_policy: str = "scheduled"
+    #: Optional contact plan; ``None`` leaves custody in live mode (it only
+    #: sees which links are usable right now).
+    custody_schedule: Optional["ContactSchedule"] = None
 
     def __post_init__(self) -> None:
         if self.qkd_bits_per_rekey <= 0:
@@ -100,6 +115,8 @@ class KmsConfig:
             raise ValueError("transport key bits must be a positive multiple of 8")
         if self.rekey_timeout_seconds <= 0:
             raise ValueError("rekey timeout must be positive")
+        if self.custody and self.custody_ttl_seconds <= 0:
+            raise ValueError("custody TTL must be positive")
 
     @property
     def rekey_draw_bits(self) -> int:
@@ -135,6 +152,8 @@ class KmsMetrics:
     delivered_key_bits: int = 0
     reroutes: int = 0
     transports_failed: int = 0
+    #: Deliveries banked with the custody layer instead of failing.
+    transports_parked: int = 0
     epochs_run: int = 0
     pad_bits_banked: int = 0
     phase1_reestablishments: int = 0
@@ -168,6 +187,16 @@ class SoakReport:
     #: — the soak determinism pin.
     delivered_digest: str
     per_pair: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Custody-layer accounting (all zero with ``KmsConfig.custody`` off).
+    transports_parked: int = 0
+    custody_submitted: int = 0
+    custody_delivered: int = 0
+    custody_expired: int = 0
+    custody_evicted: int = 0
+    custody_live: int = 0
+    custody_occupancy_peak_bits: int = 0
+    #: Order-independent sha256 over custody-delivered key material.
+    custody_delivered_digest: str = ""
 
     @property
     def completion_accounted(self) -> bool:
@@ -177,6 +206,17 @@ class SoakReport:
             + self.rekeys_timed_out
             + self.rekeys_failed
             + self.pending_waiters
+        )
+
+    @property
+    def custody_accounted(self) -> bool:
+        """Every custody bundle is delivered, expired, evicted or still live
+        — no leak states."""
+        return self.custody_submitted == (
+            self.custody_delivered
+            + self.custody_expired
+            + self.custody_evicted
+            + self.custody_live
         )
 
 
@@ -208,6 +248,16 @@ class KeyManagementService:
         self._served = False
         #: Last successful transport path per pair, for reroute detection.
         self._last_path: Dict[Pair, List[str]] = {}
+        self.custody: Optional["CustodyTransport"] = None
+        if self.config.custody:
+            self.custody = relays.enable_custody(
+                schedule=self.config.custody_schedule,
+                rng=self.rng.fork_labeled("custody"),
+                policy=self.config.custody_policy,
+                ttl_seconds=self.config.custody_ttl_seconds,
+                capacity_bits=self.config.custody_capacity_bits,
+            )
+            self.custody.bind(self._on_custody_delivered)
 
         self.pairs: List[Pair] = sorted(
             tuple(p) for p in (self.config.gateway_pairs or self._default_pairs())
@@ -339,6 +389,16 @@ class KeyManagementService:
                 label=f"rekey/{pair[0]}--{pair[1]}",
             )
         self.events.schedule_at(0.0, self._on_epoch, label="epoch")
+        if self.custody is not None:
+            # Tick the custody layer at every contact-plan boundary (and at
+            # the horizon, so final expiry is observed) — windows opening
+            # between replenishment epochs must not go unused.
+            for time in self.custody.tick_times(horizon):
+                self.events.try_schedule_at(
+                    time,
+                    lambda: self._custody_tick(),
+                    label="custody-tick",
+                )
         self.events.run_until(horizon)
         return self._build_report(horizon)
 
@@ -413,10 +473,34 @@ class KeyManagementService:
         report = self.replenisher.run_epoch()
         self.metrics.epochs_run += 1
         self.metrics.pad_bits_banked += report.total_banked_bits
+        if self.custody is not None:
+            # Freshly banked pad may unblock parked bundles; move them
+            # before demanding new transports.
+            self.custody.tick(self.clock.now())
         self._deliver()
         self.events.schedule_after(
             self.config.replenishment.epoch_seconds, self._on_epoch, label="epoch"
         )
+
+    def _custody_tick(self) -> None:
+        self.custody.tick(self.clock.now())
+        for pair in self.pairs:
+            self._drain_waiters(pair)
+
+    def _on_custody_delivered(self, bundle: "CustodyBundle") -> None:
+        """A parked bundle reached its destination: deposit it exactly as a
+        live transport would have been deposited."""
+        pair = (bundle.source, bundle.destination)
+        store = self.stores.get(pair)
+        if store is None:
+            return  # custody traffic outside this service's gateway pairs
+        now = self.clock.now()
+        store.deposit(bundle.key, now=now)
+        self.metrics.delivered_keys += 1
+        self.metrics.delivered_key_bits += len(bundle.key)
+        self._digest.update(f"{pair[0]}--{pair[1]}|{len(bundle.key)}|".encode())
+        self._digest.update(bundle.key.to_bytes())
+        self._drain_waiters(pair)
 
     def _deliver(self) -> None:
         """Transport end-to-end keys into every store below its high water.
@@ -434,9 +518,35 @@ class KeyManagementService:
             store.expire(now)
             starved_here = False
             while store.available_bits < store.high_water_bits:
-                result = self.relays.transport_with_reroute(
-                    pair[0], pair[1], key_bits=self.config.transport_key_bits
+                if self.custody is not None and (
+                    store.available_bits
+                    + self.custody.in_flight_bits(pair[0], pair[1])
+                    >= store.high_water_bits
+                ):
+                    break  # the gap is already covered by parked custody material
+                in_flight_before = (
+                    self.custody.in_flight_bits(pair[0], pair[1])
+                    if self.custody is not None
+                    else 0
                 )
+                result = self.relays.transport_with_reroute(
+                    pair[0],
+                    pair[1],
+                    key_bits=self.config.transport_key_bits,
+                    now=now,
+                )
+                if result.custody_accepted:
+                    # Banked (or hop-by-hop forwarded) by the custody layer;
+                    # the delivery callback deposits whenever it arrives, so
+                    # the demand is parked rather than starved.
+                    self.metrics.transports_parked += 1
+                    in_flight = self.custody.in_flight_bits(pair[0], pair[1])
+                    if result.success or in_flight > in_flight_before:
+                        continue
+                    # Custody is evicting our own bundles as fast as we park
+                    # them (bounded store, full); more submissions this epoch
+                    # would only churn the store.
+                    break
                 if not result.success:
                     starved_here = True
                     self.metrics.transports_failed += 1
@@ -548,6 +658,28 @@ class KeyManagementService:
             eavesdropped_links=eavesdropped,
             delivered_digest=self.delivered_digest(),
             per_pair=per_pair,
+            transports_parked=metrics.transports_parked,
+            custody_submitted=(
+                self.custody.metrics.bundles_submitted if self.custody else 0
+            ),
+            custody_delivered=(
+                self.custody.metrics.bundles_delivered if self.custody else 0
+            ),
+            custody_expired=(
+                self.custody.metrics.bundles_expired if self.custody else 0
+            ),
+            custody_evicted=(
+                self.custody.metrics.bundles_evicted if self.custody else 0
+            ),
+            custody_live=(
+                len(self.custody.live_bundle_ids()) if self.custody else 0
+            ),
+            custody_occupancy_peak_bits=(
+                self.custody.occupancy_peak_bits if self.custody else 0
+            ),
+            custody_delivered_digest=(
+                self.custody.delivered_digest if self.custody else ""
+            ),
         )
 
     def __repr__(self) -> str:

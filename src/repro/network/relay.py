@@ -16,13 +16,17 @@ trust exposure the paper identifies as the architecture's prime weakness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.crypto.otp import OneTimePad
 from repro.network.routing import PathSelector, RoutingError
 from repro.network.topology import NodeKind, QKDNetwork
 from repro.util.bits import BitString
 from repro.util.rng import DeterministicRNG
+
+if TYPE_CHECKING:  # imported lazily at runtime; custody is opt-in
+    from repro.dtn.contact import ContactSchedule
+    from repro.dtn.transport import CustodyTransport
 
 
 @dataclass
@@ -40,6 +44,13 @@ class KeyTransportResult:
     rerouted: bool = False
     #: The hop (node pair) whose pairwise key ran out, when that was the cause.
     failed_hop: Optional[Tuple[str, str]] = None
+    #: Set when the key was banked with the custody layer instead of failing
+    #: outright (see :meth:`TrustedRelayNetwork.enable_custody`).
+    custody_accepted: bool = False
+    #: The node holding the custody copy nearest the destination (or the
+    #: destination itself when custody delivered instantly).
+    custodian: Optional[str] = None
+    bundle_id: Optional[int] = None
 
 
 def pad_material_from_seed(job: Tuple[int, int]) -> bytes:
@@ -73,6 +84,8 @@ class TrustedRelayNetwork:
         #: Pairwise one-time-pad pools per link, keyed by a sorted node pair.
         self.pairwise_pads: Dict[Tuple[str, str], OneTimePad] = {}
         self.transports: List[KeyTransportResult] = []
+        #: Opt-in disruption tolerance (see :meth:`enable_custody`).
+        self.custody: Optional["CustodyTransport"] = None
         #: Counts parallel refills so each one derives fresh per-link streams.
         self._refill_epoch = 0
         for edge in network.links():
@@ -183,6 +196,40 @@ class TrustedRelayNetwork:
         return self.pad_for(node_a, node_b).available_bytes * 8
 
     # ------------------------------------------------------------------ #
+    # Disruption tolerance (opt-in)
+    # ------------------------------------------------------------------ #
+
+    def enable_custody(
+        self,
+        schedule: Optional["ContactSchedule"] = None,
+        rng: Optional[DeterministicRNG] = None,
+        policy: str = "scheduled",
+        ttl_seconds: float = 3600.0,
+        capacity_bits: int = 1 << 20,
+    ) -> "CustodyTransport":
+        """Attach a store-and-forward custody layer to this mesh.
+
+        Once enabled, :meth:`transport_with_reroute` no longer fails a key
+        outright when the mesh offers no live path: the key is banked at
+        the furthest reachable custodian and forwarded as contact windows
+        open (see :mod:`repro.dtn`).  Custody randomness comes from
+        ``rng``'s labeled streams (``dtn/bundle/<n>``,
+        ``dtn/epidemic/<n>``), never from this network's own stream, so
+        enabling custody does not perturb live-transport key material.
+        """
+        from repro.dtn.transport import CustodyTransport
+
+        self.custody = CustodyTransport(
+            self,
+            schedule=schedule,
+            rng=rng or DeterministicRNG(0),
+            policy=policy,
+            ttl_seconds=ttl_seconds,
+            capacity_bits=capacity_bits,
+        )
+        return self.custody
+
+    # ------------------------------------------------------------------ #
     # End-to-end key transport
     # ------------------------------------------------------------------ #
 
@@ -255,13 +302,17 @@ class TrustedRelayNetwork:
         return result
 
     def transport_with_reroute(
-        self, source: str, destination: str, key_bits: int = 256
+        self, source: str, destination: str, key_bits: int = 256, now: float = 0.0
     ) -> KeyTransportResult:
         """Transport a key, falling back to alternative paths on failure.
 
         This is the resilience property the mesh buys: if the preferred path
         fails (cut link, eavesdropping, exhausted pairwise key), the transport
-        is retried over whatever usable capacity remains.
+        is retried over whatever usable capacity remains.  With custody
+        enabled (:meth:`enable_custody`) there is a second fallback: a key
+        that cannot move end to end *now* is banked at the furthest
+        reachable custodian and store-and-forwarded as contacts open —
+        ``now`` timestamps the custody submission.
         """
         first = self.transport_key(source, destination, key_bits)
         if first.success:
@@ -290,7 +341,63 @@ class TrustedRelayNetwork:
                 self.network.link(node_a, node_b).operational = True
 
         last.failure_reason += " (no usable alternative path)"
+        if self.custody is not None:
+            custody_result = self._bank_in_custody(
+                source, destination, key_bits, now, last
+            )
+            if custody_result is not None:
+                return custody_result
         return last
+
+    def _bank_in_custody(
+        self,
+        source: str,
+        destination: str,
+        key_bits: int,
+        now: float,
+        failed: KeyTransportResult,
+    ) -> Optional[KeyTransportResult]:
+        """Bank a key the live mesh could not move; ``None`` when even
+        custody cannot help (statically disconnected destination)."""
+        from repro.dtn.store import DELIVERED
+        from repro.network.routing import RoutingError as _RoutingError
+
+        try:
+            bundle = self.custody.submit(source, destination, key_bits, now)
+        except _RoutingError:
+            return None
+        if bundle.state == DELIVERED:
+            # Custody's hop-by-hop forwarding found a way through after all
+            # (e.g. contacts opened between the routing decision and now).
+            return KeyTransportResult(
+                success=True,
+                key=bundle.key,
+                pad_bits_consumed=bundle.pad_bits_consumed,
+                rerouted=True,
+                custody_accepted=True,
+                custodian=destination,
+                bundle_id=bundle.bundle_id,
+            )
+        locations = self.custody.locations(bundle)
+        custodian = min(
+            locations,
+            key=lambda node: (
+                self.custody.static_distance(node, destination),
+                node,
+            ),
+        )
+        return KeyTransportResult(
+            success=False,
+            failure_reason=(
+                failed.failure_reason
+                + f"; banked in custody as bundle {bundle.bundle_id} "
+                f"at {custodian!r}"
+            ),
+            pad_bits_consumed=bundle.pad_bits_consumed,
+            custody_accepted=True,
+            custodian=custodian,
+            bundle_id=bundle.bundle_id,
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -18,7 +18,22 @@ from repro.network.topology import QKDNetwork
 
 
 class RoutingError(Exception):
-    """Raised when no usable path exists between two nodes."""
+    """Raised when no usable path exists between two nodes.
+
+    The message always names the source, the destination, and — for a
+    disconnected usable subgraph — the set of nodes still reachable from
+    the source, so a soak failure log shows *which* partition the mesh
+    fell into rather than just that it fell apart.
+    """
+
+
+def _describe_reachable(usable: "nx.Graph", source: str) -> str:
+    """``"N node(s) reachable from 'src': a, b, c"`` for error messages."""
+    reachable = sorted(nx.node_connected_component(usable, source))
+    return (
+        f"{len(reachable)} node(s) reachable from {source!r}: "
+        f"{', '.join(reachable)}"
+    )
 
 
 class PathSelector:
@@ -51,15 +66,19 @@ class PathSelector:
         one fiber cut away from, and a mesh is designed to avoid.
         """
         usable = self.network.usable_subgraph()
-        if source not in usable or destination not in usable:
-            raise RoutingError(f"unknown node in ({source!r}, {destination!r})")
+        for name in (source, destination):
+            if name not in usable:
+                raise RoutingError(
+                    f"unknown node {name!r} in route {source!r} -> {destination!r}"
+                )
         try:
             return nx.shortest_path(
                 usable, source, destination, weight=self._edge_weight
             )
         except nx.NetworkXNoPath as exc:
             raise RoutingError(
-                f"no usable QKD path from {source!r} to {destination!r}"
+                f"no usable QKD path from {source!r} to {destination!r}; "
+                + _describe_reachable(usable, source)
             ) from exc
 
     def path_exists(self, source: str, destination: str) -> bool:
@@ -70,14 +89,27 @@ class PathSelector:
             return False
 
     def disjoint_paths(self, source: str, destination: str) -> List[List[str]]:
-        """Edge-disjoint usable paths (a measure of the mesh's redundancy)."""
+        """Edge-disjoint usable paths (a measure of the mesh's redundancy).
+
+        Raises :class:`RoutingError` (naming the reachable node set) when
+        the usable subgraph provides *no* path at all — zero redundancy on
+        a connected pair returns ``[[...single path...]]``, but a
+        disconnected pair is an error the caller must see, not an empty
+        list that reads like "no spare paths".
+        """
         usable = self.network.usable_subgraph()
-        if source not in usable or destination not in usable:
-            raise RoutingError(f"unknown node in ({source!r}, {destination!r})")
+        for name in (source, destination):
+            if name not in usable:
+                raise RoutingError(
+                    f"unknown node {name!r} in route {source!r} -> {destination!r}"
+                )
         try:
             return [list(p) for p in nx.edge_disjoint_paths(usable, source, destination)]
-        except nx.NetworkXNoPath:
-            return []
+        except nx.NetworkXNoPath as exc:
+            raise RoutingError(
+                f"no edge-disjoint usable QKD paths from {source!r} to "
+                f"{destination!r}; " + _describe_reachable(usable, source)
+            ) from exc
 
     def path_length_km(self, path: List[str]) -> float:
         """Total fiber length along a path."""

@@ -67,6 +67,20 @@ class EventScheduler:
         heapq.heappush(self._queue, event)
         return event
 
+    def try_schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> Optional[ScheduledEvent]:
+        """Like :meth:`schedule_at`, but a time already in the past is
+        silently skipped (returns ``None``) instead of raising.
+
+        This is the right semantics for replaying a precomputed plan — a
+        contact schedule, a flap plan — whose earliest entries may predate
+        the moment the plan is bound to the clock.
+        """
+        if time < self.clock.now():
+            return None
+        return self.schedule_at(time, callback, label)
+
     def schedule_after(self, delay: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
         """Schedule a callback ``delay`` seconds from now."""
         if delay < 0:

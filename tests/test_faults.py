@@ -12,6 +12,7 @@ released-bits ledger (no reservation leak).
 
 import asyncio
 import hashlib
+import math
 import struct
 
 import pytest
@@ -33,8 +34,11 @@ from repro.faults import (
     LinkFlapper,
     draw_flap_windows,
     drive_flaps,
+    invert_windows,
+    merge_windows,
     stall_hook,
 )
+from repro.faults.flaps import FlapWindow
 from repro.kms.store import KeyStore
 from repro.netkms import protocol
 from repro.netkms.client import NetworkKmsClient
@@ -204,6 +208,62 @@ class TestLinkFlaps:
             return plane.link_up
 
         assert run(scenario()) is True
+
+
+# --------------------------------------------------------------------------- #
+# Flap-window boundary behaviour
+# --------------------------------------------------------------------------- #
+
+
+class TestFlapWindowBoundaries:
+    def test_zero_duration_windows_are_no_outage_at_all(self):
+        windows = [FlapWindow(5.0, 5.0), FlapWindow(10.0, 12.0), FlapWindow(20.0, 20.0)]
+        assert merge_windows(windows) == [FlapWindow(10.0, 12.0)]
+        # inversion sees only the real outage
+        assert invert_windows(windows) == [(0.0, 10.0), (12.0, math.inf)]
+        # an all-zero schedule inverts to "always up"
+        assert invert_windows([FlapWindow(3.0, 3.0)]) == [(0.0, math.inf)]
+
+    def test_overlapping_and_adjacent_windows_merge_into_one_outage(self):
+        windows = [
+            FlapWindow(10.0, 20.0),
+            FlapWindow(15.0, 25.0),  # overlaps
+            FlapWindow(25.0, 30.0),  # adjacent
+            FlapWindow(12.0, 18.0),  # contained
+        ]
+        assert merge_windows(windows) == [FlapWindow(10.0, 30.0)]
+        assert invert_windows(windows) == [(0.0, 10.0), (30.0, math.inf)]
+
+    def test_window_truncated_exactly_at_the_horizon(self):
+        # a mean down-time far beyond the horizon guarantees the first
+        # outage would overrun it; the drawn window must clamp to the
+        # horizon exactly, not spill past it
+        windows = draw_flap_windows(
+            DeterministicRNG(3), 50.0, mean_up_seconds=5.0, mean_down_seconds=1e9
+        )
+        assert len(windows) == 1
+        assert windows[0].up_at == 50.0
+        assert 0.0 <= windows[0].down_at < 50.0
+
+    def test_same_seed_drives_two_planes_identically(self):
+        windows = draw_flap_windows(
+            DeterministicRNG(11), 80.0, mean_up_seconds=8.0, mean_down_seconds=3.0
+        )
+        assert windows == draw_flap_windows(
+            DeterministicRNG(11), 80.0, mean_up_seconds=8.0, mean_down_seconds=3.0
+        )
+        traces = []
+        for _ in range(2):
+            plane = FaultPlane(DeterministicRNG(0))
+            scheduler = EventScheduler()
+            LinkFlapper(plane, scheduler).apply(windows)
+            trace = []
+            for t in [x / 2 for x in range(161)]:
+                scheduler.run_until(t)
+                trace.append(plane.link_up)
+            traces.append(trace)
+        assert traces[0] == traces[1]
+        assert False in traces[0]  # the schedule actually took the link down
 
 
 # --------------------------------------------------------------------------- #

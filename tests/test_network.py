@@ -119,6 +119,37 @@ class TestRouting:
             selector.find_path("alice", "bob")
         assert not selector.path_exists("alice", "bob")
 
+    def test_no_path_error_names_ends_and_reachable_set(self):
+        net = QKDNetwork()
+        for name in ("a", "b", "c", "d"):
+            net.add_endpoint(name)
+        net.add_link("a", "b", 5.0)
+        net.add_link("c", "d", 5.0)
+        with pytest.raises(RoutingError) as excinfo:
+            PathSelector(net).find_path("a", "d")
+        message = str(excinfo.value)
+        assert "'a'" in message and "'d'" in message
+        assert "2 node(s) reachable from 'a': a, b" in message
+
+    def test_unknown_node_error_names_the_route(self):
+        net = QKDNetwork.point_to_point()
+        with pytest.raises(RoutingError) as excinfo:
+            PathSelector(net).find_path("alice", "nowhere")
+        assert "unknown node 'nowhere' in route 'alice' -> 'nowhere'" in str(
+            excinfo.value
+        )
+
+    def test_disjoint_paths_on_disconnected_pair_raise_with_reachable_set(self):
+        net = QKDNetwork()
+        for name in ("a", "b", "c"):
+            net.add_endpoint(name)
+        net.add_link("a", "b", 5.0)
+        with pytest.raises(RoutingError) as excinfo:
+            PathSelector(net).disjoint_paths("a", "c")
+        message = str(excinfo.value)
+        assert "no edge-disjoint usable QKD paths from 'a' to 'c'" in message
+        assert "reachable from 'a': a, b" in message
+
     def test_path_metrics(self, mesh):
         selector = PathSelector(mesh)
         path = selector.find_path("endpoint-0", "endpoint-1")
