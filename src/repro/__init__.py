@@ -50,11 +50,15 @@ from repro.dtn import (
     CustodyTransport,
 )
 from repro.kms import (
+    AggregateProfile,
+    AggregateWorkload,
     KeyManagementService,
     KmsConfig,
     SoakReport,
     TrafficWorkload,
     WorkloadProfile,
+    ZonePlan,
+    build_metro_mesh,
 )
 from repro.lanes import LaneCompatibilityError, LaneEngine
 
@@ -71,6 +75,10 @@ __all__ = [
     "SoakReport",
     "TrafficWorkload",
     "WorkloadProfile",
+    "AggregateProfile",
+    "AggregateWorkload",
+    "ZonePlan",
+    "build_metro_mesh",
     "LaneEngine",
     "LaneCompatibilityError",
     "ContactGraphSelector",

@@ -32,11 +32,13 @@ keys — ``QKDSystem(seed=s).link()`` is bit-for-bit the legacy
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Tuple
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep the facade light
     from repro.faults import FaultPlane
+    from repro.kms.zones import ZonePlan
 
 from repro.core.engine import EngineParameters
 from repro.ipsec.gateway import GatewayPair
@@ -234,6 +236,43 @@ class QKDSystem:
         )
         return MeshSystem(config=config, relays=relays)
 
+    def metro(
+        self,
+        n_zones: int = 4,
+        endpoints_per_zone: int = 4,
+        relays_per_zone: int = 3,
+        zone_link_km: float = 5.0,
+        trunk_km: float = 25.0,
+        **overrides,
+    ) -> "MeshSystem":
+        """A metro-area mesh of zones, pre-wired for zoned key management.
+
+        Builds :func:`repro.kms.build_metro_mesh` from the system seed —
+        ``n_zones`` relay rings with endpoints hanging off them, gateways
+        joined by trunk links — and returns a :class:`MeshSystem` whose
+        :meth:`~MeshSystem.kms` defaults to the mesh's
+        :class:`~repro.kms.zones.ZonePlan`, so::
+
+            QKDSystem(seed=7).metro(n_zones=4).kms().serve(hours=2.0)
+
+        runs the zoned runtime with no further wiring.  Pass an explicit
+        ``KmsConfig`` (including ``.with_zones(...)``) to override.
+        """
+        from repro.kms.zones import build_metro_mesh
+
+        config = replace(self.config, **overrides) if overrides else self.config
+        relays, plan = build_metro_mesh(
+            n_zones=n_zones,
+            endpoints_per_zone=endpoints_per_zone,
+            relays_per_zone=relays_per_zone,
+            zone_link_km=zone_link_km,
+            trunk_km=trunk_km,
+            rng=DeterministicRNG(config.seed),
+            metric=config.routing_metric,
+            prefill_seconds=config.prefill_seconds,
+        )
+        return MeshSystem(config=config, relays=relays, zone_plan=plan)
+
     def lanes(self, n_lanes: int, name: Optional[str] = None, **overrides) -> LaneEngine:
         """A fleet of ``n_lanes`` identical links run as one vectorized batch.
 
@@ -360,28 +399,34 @@ class MeshSystem:
     config: SystemConfig
     relays: TrustedRelayNetwork
     #: Replenishment-config fields applied on top of whatever ``kms()`` is
-    #: handed; populated by :meth:`with_lanes`.
+    #: handed; populated by the deprecated :meth:`with_lanes`.
     replenishment_overrides: dict = field(default_factory=dict)
-    #: Custody-config fields applied likewise; populated by
+    #: Custody-config fields applied likewise; populated by the deprecated
     #: :meth:`with_custody`.
     custody_overrides: dict = field(default_factory=dict)
+    #: The metro zone plan this mesh was built with (``QKDSystem.metro``);
+    #: ``kms()`` adopts it whenever the config does not name zones itself.
+    zone_plan: Optional["ZonePlan"] = None
 
     @property
     def network(self):
         return self.relays.network
 
     def with_lanes(self, max_links_per_epoch: Optional[int] = None) -> "MeshSystem":
-        """Route replenishment epochs through the vectorized lane engine.
+        """Deprecated: use ``kms(config=KmsConfig().with_lanes(...))``.
 
-        Switches the KMS replenishment loop to Monte-Carlo mode on the
-        ``"lanes"`` farm backend: each epoch's dispatched links execute as
-        one ``(n_links, slots_per_epoch)`` batch program instead of one
-        worker process per link.  Epoch results are bit-identical either way
-        (the lane engine consumes the same per-link labeled seeds), so this
-        only changes throughput.  ``max_links_per_epoch`` optionally caps
-        the batch width — the lever for bounding peak batch memory on very
-        wide meshes.
+        Routes replenishment epochs through the vectorized lane engine —
+        Monte-Carlo mode on the ``"lanes"`` farm backend, bit-identical to
+        per-link dispatch.  The same switch now lives on the config object
+        (:meth:`repro.kms.KmsConfig.with_lanes`), where it composes with the
+        other builders instead of being mesh state.
         """
+        warnings.warn(
+            "MeshSystem.with_lanes is deprecated; pass "
+            "KmsConfig().with_lanes(...) to kms(config=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         overrides: dict = {"mode": "montecarlo", "backend": "lanes"}
         if max_links_per_epoch is not None:
             overrides["max_links_per_epoch"] = max_links_per_epoch
@@ -397,17 +442,19 @@ class MeshSystem:
         capacity_bits: int = 1 << 20,
         schedule=None,
     ) -> "MeshSystem":
-        """Make the KMS disruption-tolerant (see :mod:`repro.dtn`).
+        """Deprecated: use ``kms(config=KmsConfig().with_custody(...))``.
 
-        Deliveries that find no live path are banked as custody bundles at
-        the furthest reachable relay and store-and-forwarded as contact
-        windows open, instead of starving the pair's store.  ``policy``
-        picks the forwarding policy (``"scheduled"`` contact-graph routing
-        or ``"epidemic"`` flooding); ``schedule`` optionally supplies a
-        :class:`~repro.dtn.contact.ContactSchedule` so the scheduled
-        policy can plan ahead (build one from a flap plan with
-        :meth:`~repro.dtn.contact.ContactSchedule.from_flaps`).
+        Makes the KMS disruption-tolerant (see :mod:`repro.dtn`): deliveries
+        that find no live path are banked as custody bundles and
+        store-and-forwarded as contact windows open.  The switch now lives
+        on the config object (:meth:`repro.kms.KmsConfig.with_custody`).
         """
+        warnings.warn(
+            "MeshSystem.with_custody is deprecated; pass "
+            "KmsConfig().with_custody(...) to kms(config=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         overrides = {
             "custody": True,
             "custody_policy": policy,
@@ -436,6 +483,9 @@ class MeshSystem:
         )
 
     def endpoints(self) -> Tuple[str, ...]:
+        if self.zone_plan is not None:
+            # Metro meshes name endpoints per zone (z00-endpoint-0, ...).
+            return tuple(sorted(self.relays.network.endpoints()))
         return tuple(
             f"endpoint-{i}" for i in range(self.config.n_endpoints)
         )
@@ -451,18 +501,46 @@ class MeshSystem:
     ) -> KeyManagementService:
         """A key-management runtime over this mesh (see :mod:`repro.kms`).
 
+        Config-first: every operating decision — zoning, custody, the
+        demand model, replenishment fidelity — lives on the
+        :class:`~repro.kms.KmsConfig` and its ``with_*`` builders::
+
+            mesh.kms(
+                KmsConfig()
+                .with_zones(4)
+                .with_workload(AggregateProfile.storm(tunnels=1_000_000))
+            )
+
         The service is built but not yet running — arm failures and attacks
         (:meth:`KeyManagementService.schedule_link_cut`,
         :meth:`~repro.kms.service.KeyManagementService.schedule_attack`)
         and then call :meth:`KeyManagementService.serve`.  The service's RNG
         derives from the system seed by label, so a given
-        ``(SystemConfig, KmsConfig, workload)`` always replays the same run.
+        ``(SystemConfig, KmsConfig)`` always replays the same run.
+
+        A mesh built by :meth:`QKDSystem.metro` carries its zone plan; the
+        config adopts it automatically unless it names zones itself.
+
+        Passing a ``workload`` *instance* is deprecated — put a profile on
+        the config (:meth:`~repro.kms.KmsConfig.with_workload`) instead.
         """
         rng = DeterministicRNG(self.config.seed).fork_labeled("kms")
-        if workload is None:
+        if workload is not None:
+            warnings.warn(
+                "passing a workload instance to kms()/serve() is deprecated; "
+                "use KmsConfig().with_workload(profile) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        elif config is None or config.workload is None:
+            # Historical default stream: the facade's default workload forks
+            # the "workload" label (the service's own fallback would fork
+            # "workload-root" and yield a different schedule).
             workload = TrafficWorkload(
                 WorkloadProfile.poisson(), rng.fork_labeled("workload")
             )
+        if self.zone_plan is not None and (config is None or config.zones is None):
+            config = (config or KmsConfig()).with_zones(self.zone_plan)
         if self.replenishment_overrides:
             config = config or KmsConfig()
             config = replace(
@@ -485,12 +563,14 @@ class MeshSystem:
     ) -> SoakReport:
         """Operate the mesh continuously for ``hours`` of simulated time.
 
-        ``QKDSystem(seed).mesh(...).serve(workload, hours=...)`` is the
+        ``QKDSystem(seed).mesh(...).serve(hours=..., config=...)`` is the
         one-line entry point to the paper's headline scenario: a relay mesh
         sustaining many IPsec consumers' rekey demand, with replenishment,
         contention, and starvation accounting.  Builds a fresh
         :meth:`kms` service and runs it once; the run continues from the
         mesh's current pad levels (a prefilled mesh starts warm).
+
+        The ``workload`` parameter is deprecated exactly as on :meth:`kms`.
         """
         return self.kms(config=config, workload=workload).serve(hours=hours)
 

@@ -264,6 +264,7 @@ class CustodyTransport:
             return False
         hop_pad_bytes = pad.peek(len(key_bytes))
         ciphertext = pad.encrypt(key_bytes)
+        self.relays.notify_pad_change(node_a, node_b)
         arrived = bytes(c ^ p for c, p in zip(ciphertext, hop_pad_bytes))
         assert arrived == key_bytes  # the far end recovers the key exactly
         bits = len(key_bytes) * 8

@@ -15,10 +15,18 @@ contention and attack.  :mod:`repro.kms` is that operational layer:
   under the :mod:`repro.sim` event clock, with failure/attack injection,
   starvation accounting and sustained-throughput reporting.
 
-Entry point: ``QKDSystem(...).mesh(...).serve(hours=...)`` on the
+Metro scale (PR 10): :class:`~repro.kms.zones.ZonePlan` shards the mesh so
+scheduling cost is per-zone (:class:`~repro.kms.zones.ZonedReplenisher`,
+trunk stores between zone gateways), the dispatch/epoch hot paths run on
+the indexed :class:`~repro.kms.indexing.LazyPriorityHeap`, and
+:class:`~repro.kms.workload.AggregateWorkload` models millions of tunnels
+as compound arrivals without per-tunnel objects.
+
+Entry point: ``QKDSystem(...).mesh(...).kms(config=KmsConfig()...)`` on the
 :mod:`repro.api` facade, or build a :class:`KeyManagementService` directly.
 """
 
+from repro.kms.indexing import LazyPriorityHeap
 from repro.kms.scheduler import (
     EpochReport,
     ReplenishmentConfig,
@@ -39,9 +47,17 @@ from repro.kms.store import (
     StorePool,
     StoreStatistics,
 )
-from repro.kms.workload import TrafficWorkload, WorkloadProfile
+from repro.kms.workload import (
+    AggregateProfile,
+    AggregateWorkload,
+    TrafficWorkload,
+    WorkloadProfile,
+)
+from repro.kms.zones import ZonedReplenisher, ZonePlan, build_metro_mesh
 
 __all__ = [
+    "AggregateProfile",
+    "AggregateWorkload",
     "EpochReport",
     "KeyManagementService",
     "KeyReservation",
@@ -49,6 +65,7 @@ __all__ = [
     "KeyStoreExhaustedError",
     "KmsConfig",
     "KmsMetrics",
+    "LazyPriorityHeap",
     "percentile",
     "ReplenishmentConfig",
     "ReplenishmentScheduler",
@@ -58,4 +75,7 @@ __all__ = [
     "StoreStatistics",
     "TrafficWorkload",
     "WorkloadProfile",
+    "ZonePlan",
+    "ZonedReplenisher",
+    "build_metro_mesh",
 ]

@@ -41,9 +41,11 @@ Two fidelity modes:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.kms.indexing import DEFER, DROP, EMIT, LazyPriorityHeap
 from repro.link.qkd_link import LinkParameters, QKDLink
 from repro.mathkit.entropy import binary_entropy
 from repro.network.relay import TrustedRelayNetwork, pad_material_from_seed
@@ -144,6 +146,7 @@ class ReplenishmentScheduler:
         relays: TrustedRelayNetwork,
         rng: DeterministicRNG,
         config: Optional[ReplenishmentConfig] = None,
+        links: Optional[Iterable[Tuple[str, str]]] = None,
     ):
         self.relays = relays
         self.config = config or ReplenishmentConfig()
@@ -158,6 +161,28 @@ class ReplenishmentScheduler:
         self.pressure: Dict[Tuple[str, str], float] = {}
         self._farm = LinkFarm(workers=self.config.workers, backend=self.config.backend)
         self._link_cache: Dict[float, QKDLink] = {}
+        #: Wall-clock seconds spent ordering/selecting links (the scheduler
+        #: overhead the metro bench tracks; excludes the dispatch fan-out).
+        self.selection_seconds = 0.0
+        #: The links this scheduler manages, sorted pair -> edge.  ``links``
+        #: restricts the scheduler to a subset of the mesh (one zone, or the
+        #: trunks); ``None`` manages every link.
+        self._edges: Dict[Tuple[str, str], QKDLinkEdge] = {}
+        managed = None if links is None else {self._key(a, b) for a, b in links}
+        for edge in relays.network.links():
+            key = self._key(edge.node_a, edge.node_b)
+            if managed is None or key in managed:
+                self._edges[key] = edge
+        if managed is not None and len(self._edges) != len(managed):
+            missing = sorted(managed - set(self._edges))
+            raise KeyError(f"managed links not present in the mesh: {missing}")
+        #: Lazy-deletion priority index over the managed links that still
+        #: want pad (see :mod:`repro.kms.indexing`); kept exact by the
+        #: relay layer's pad-change notifications and the pressure hooks.
+        self._heap = LazyPriorityHeap(self._classify_link)
+        for key in sorted(self._edges):
+            self._heap.push(key)
+        relays.add_pad_listener(self._on_pad_change)
 
     # ------------------------------------------------------------------ #
     # Attack / pressure feedback
@@ -167,23 +192,35 @@ class ReplenishmentScheduler:
     def _key(node_a: str, node_b: str) -> Tuple[str, str]:
         return tuple(sorted((node_a, node_b)))
 
-    def attach_attack(self, node_a: str, node_b: str, attack: object) -> None:
-        """Interpose an eavesdropper on a link's photonic path.
+    def _require_managed(self, node_a: str, node_b: str) -> Tuple[str, str]:
+        """The sorted pair, or ``KeyError`` naming the pair and the known set.
 
-        The link must exist: a typo'd node name would otherwise sit in the
-        attack map forever, never matching any dispatched epoch, and the
-        "attack" would silently not happen.
+        A typo'd node name would otherwise sit in the attack/pressure maps
+        forever, never matching any dispatched epoch, and the feedback would
+        silently not happen.
         """
-        self.relays.network.link(node_a, node_b)  # KeyError on unknown link
-        self.attacks[self._key(node_a, node_b)] = attack
+        key = self._key(node_a, node_b)
+        if key not in self._edges:
+            known = ", ".join(f"{a}--{b}" for a, b in sorted(self._edges))
+            raise KeyError(
+                f"unknown link {key[0]!r}--{key[1]!r}; "
+                f"{len(self._edges)} known link(s): {known}"
+            )
+        return key
+
+    def attach_attack(self, node_a: str, node_b: str, attack: object) -> None:
+        """Interpose an eavesdropper on a link's photonic path."""
+        self.attacks[self._require_managed(node_a, node_b)] = attack
 
     def detach_attack(self, node_a: str, node_b: str) -> None:
-        self.attacks.pop(self._key(node_a, node_b), None)
+        self.attacks.pop(self._require_managed(node_a, node_b), None)
 
     def note_pressure(self, node_a: str, node_b: str, amount: float = 1.0) -> None:
         """Record that a starving consumer depends on this link."""
-        key = self._key(node_a, node_b)
+        key = self._require_managed(node_a, node_b)
         self.pressure[key] = self.pressure.get(key, 0.0) + amount
+        # Pressure raises urgency, so the index must learn of it eagerly.
+        self._heap.push(key)
 
     # ------------------------------------------------------------------ #
     # Epoch dispatch
@@ -206,25 +243,42 @@ class ReplenishmentScheduler:
         deficit = max(target - self._pad_bits(edge), 0) / target
         return deficit + self.pressure.get(self._key(edge.node_a, edge.node_b), 0.0)
 
+    def _classify_link(self, key: Tuple[str, str]):
+        """Heap classifier: drop pads at target, defer unusable links.
+
+        The sort key reproduces the historical full-sort order exactly:
+        needy links (below low water) outrank the rest, then
+        ``(-priority, pair)``.
+        """
+        edge = self._edges[key]
+        pad = self._pad_bits(edge)
+        if pad >= self.config.pad_target_bits:
+            return (DROP, None)
+        rank = 0 if pad < self.config.pad_low_water_bits else 1
+        sort_key = (rank, -self._priority(edge), key)
+        if not edge.usable:
+            return (DEFER, sort_key)
+        return (EMIT, sort_key)
+
+    def _on_pad_change(self, key: Tuple[str, str]) -> None:
+        """Relay-layer hook: one link's pad level changed; re-index it."""
+        if key in self._edges:
+            self._heap.push(key)
+
     def select_links(self) -> List[QKDLinkEdge]:
         """The links to dispatch this epoch, neediest first.
 
-        Ordering is by ``(-priority, link name)`` — the name tiebreak keeps
-        the selection (and therefore the commit order) independent of dict
-        and graph iteration quirks.
+        Ordering is by ``(needy-first, -priority, link name)`` — identical
+        to sorting every candidate, but produced by draining the lazy heap,
+        so the cost is proportional to the links that actually want pad,
+        not to the mesh size.  The name tiebreak keeps the selection (and
+        therefore the commit order) independent of dict and graph iteration
+        quirks.
         """
-        candidates = [
-            edge
-            for edge in self.relays.network.links()
-            if edge.usable and self._pad_bits(edge) < self.config.pad_target_bits
-        ]
-        candidates.sort(key=lambda e: (-self._priority(e), self._key(e.node_a, e.node_b)))
-        needy = [e for e in candidates if self._pad_bits(e) < self.config.pad_low_water_bits]
-        rest = [e for e in candidates if e not in needy]
-        ordered = needy + rest
-        if self.config.max_links_per_epoch is not None:
-            ordered = ordered[: self.config.max_links_per_epoch]
-        return ordered
+        started = time.perf_counter()
+        keys = self._heap.drain(limit=self.config.max_links_per_epoch)
+        self.selection_seconds += time.perf_counter() - started
+        return [self._edges[key] for key in keys]
 
     def run_epoch(self) -> EpochReport:
         """Dispatch one distillation epoch and bank its output.
@@ -234,15 +288,26 @@ class ReplenishmentScheduler:
         part and is scheduling-invariant by construction.
         """
         report = EpochReport(epoch_index=self.epoch_index)
-        for edge in self.relays.network.links():
-            if not edge.usable:
-                report.skipped_unusable.append(self._key(edge.node_a, edge.node_b))
+        for key in self.relays.network.unusable_link_keys():
+            if key in self._edges:
+                report.skipped_unusable.append(key)
         selected = self.select_links()
         if self.config.mode == "montecarlo":
             self._run_montecarlo(selected, report)
         else:
             self._run_analytic(selected, report)
+        started = time.perf_counter()
+        pressured = list(self.pressure)
         self.pressure.clear()
+        # Dispatched links that still want pad, and links whose pressure
+        # boost just expired, both need re-indexing at their new priorities.
+        dispatched = set(report.dispatched)
+        for key in report.dispatched:
+            self._heap.push(key)
+        for key in pressured:
+            if key not in dispatched:
+                self._heap.push(key)
+        self.selection_seconds += time.perf_counter() - started
         self.epoch_index += 1
         self.reports.append(report)
         return report
@@ -278,8 +343,7 @@ class ReplenishmentScheduler:
                 continue
             whole_bytes_bits = (run.alice_pool.available_bits // 8) * 8
             material = run.alice_pool.draw_bits(whole_bytes_bits).to_bytes()
-            if material:
-                self.relays.pad_for(*key).add_key_material(material)
+            self.relays.bank_pad(key[0], key[1], material)
             report.banked_bits[key] = len(material) * 8
 
     # ---- Analytic mode ------------------------------------------------ #
@@ -330,6 +394,5 @@ class ReplenishmentScheduler:
                 report.newly_eavesdropped.append(key)
                 report.banked_bits[key] = 0
                 continue
-            if material:
-                self.relays.pad_for(*key).add_key_material(material)
+            self.relays.bank_pad(key[0], key[1], material)
             report.banked_bits[key] = len(material) * 8

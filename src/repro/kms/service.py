@@ -40,9 +40,12 @@ order.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import math
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep kms asyncio-free
     from repro.dtn.contact import ContactSchedule
@@ -53,9 +56,16 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep kms asyncio-free
 from repro.ipsec.gateway import GatewayPair
 from repro.ipsec.ike import QBLOCK_BITS, NegotiationError
 from repro.ipsec.spd import CipherSuite, SecurityPolicy
+from repro.kms.indexing import DROP, EMIT, LazyPriorityHeap
 from repro.kms.scheduler import ReplenishmentConfig, ReplenishmentScheduler
 from repro.kms.store import KeyStore, KeyStoreExhaustedError
-from repro.kms.workload import TrafficWorkload, WorkloadProfile
+from repro.kms.workload import (
+    AggregateProfile,
+    AggregateWorkload,
+    TrafficWorkload,
+    WorkloadProfile,
+)
+from repro.kms.zones import ZonePlan, ZonedReplenisher
 from repro.network.relay import TrustedRelayNetwork
 from repro.network.routing import RoutingError
 from repro.sim.clock import EventScheduler, ScheduledEvent, SimClock
@@ -107,6 +117,21 @@ class KmsConfig:
     #: Optional contact plan; ``None`` leaves custody in live mode (it only
     #: sees which links are usable right now).
     custody_schedule: Optional["ContactSchedule"] = None
+    #: Metro-scale sharding: ``None`` runs the flat mesh (the pinned-digest
+    #: path), an int partitions the mesh into that many zones
+    #: (:meth:`ZonePlan.partition`), an explicit :class:`ZonePlan` is used
+    #: as given.  Mutually exclusive with custody.
+    zones: Union["ZonePlan", int, None] = None
+    #: Sizing of the per-zone-pair trunk stores inter-zone pairs draw from.
+    trunk_capacity_bits: int = 1 << 22
+    trunk_low_water_bits: int = 65_536
+    trunk_high_water_bits: int = 262_144
+    #: Demand model the service builds its workload from when no workload
+    #: instance is passed in: a :class:`WorkloadProfile` (one arrival
+    #: process per tunnel) or an :class:`AggregateProfile` (compound
+    #: arrivals per pair class — millions of tunnels, no per-tunnel
+    #: objects).  ``None`` keeps the historical default Poisson profile.
+    workload: Union["WorkloadProfile", "AggregateProfile", None] = None
 
     def __post_init__(self) -> None:
         if self.qkd_bits_per_rekey <= 0:
@@ -117,6 +142,73 @@ class KmsConfig:
             raise ValueError("rekey timeout must be positive")
         if self.custody and self.custody_ttl_seconds <= 0:
             raise ValueError("custody TTL must be positive")
+        if self.zones is not None:
+            if self.custody:
+                raise ValueError(
+                    "custody and zones are mutually exclusive: custody parks "
+                    "deliveries on the flat mesh, zoned delivery draws "
+                    "inter-zone key through trunk stores"
+                )
+            if isinstance(self.zones, int) and self.zones < 1:
+                raise ValueError("zones must name at least one zone")
+            if not 0 < self.trunk_low_water_bits <= self.trunk_high_water_bits:
+                raise ValueError("trunk low water must be in (0, high water]")
+            if self.trunk_high_water_bits > self.trunk_capacity_bits:
+                raise ValueError("trunk high water cannot exceed trunk capacity")
+
+    # ---- fluent builders (the config-first facade composes these) ------- #
+
+    def with_zones(
+        self,
+        zones: Union["ZonePlan", int],
+        *,
+        trunk_capacity_bits: Optional[int] = None,
+        trunk_low_water_bits: Optional[int] = None,
+        trunk_high_water_bits: Optional[int] = None,
+    ) -> "KmsConfig":
+        """This config, zoned (see :attr:`zones`); trunk sizing optional."""
+        updates: Dict[str, object] = {"zones": zones}
+        if trunk_capacity_bits is not None:
+            updates["trunk_capacity_bits"] = trunk_capacity_bits
+        if trunk_low_water_bits is not None:
+            updates["trunk_low_water_bits"] = trunk_low_water_bits
+        if trunk_high_water_bits is not None:
+            updates["trunk_high_water_bits"] = trunk_high_water_bits
+        return replace(self, **updates)
+
+    def with_custody(
+        self,
+        *,
+        ttl_seconds: Optional[float] = None,
+        capacity_bits: Optional[int] = None,
+        policy: Optional[str] = None,
+        schedule: Optional["ContactSchedule"] = None,
+    ) -> "KmsConfig":
+        """This config with the disruption-tolerant custody layer on."""
+        updates: Dict[str, object] = {"custody": True}
+        if ttl_seconds is not None:
+            updates["custody_ttl_seconds"] = ttl_seconds
+        if capacity_bits is not None:
+            updates["custody_capacity_bits"] = capacity_bits
+        if policy is not None:
+            updates["custody_policy"] = policy
+        if schedule is not None:
+            updates["custody_schedule"] = schedule
+        return replace(self, **updates)
+
+    def with_workload(
+        self, profile: Union["WorkloadProfile", "AggregateProfile"]
+    ) -> "KmsConfig":
+        """This config with a demand model (see :attr:`workload`)."""
+        return replace(self, workload=profile)
+
+    def with_replenishment(self, **overrides) -> "KmsConfig":
+        """This config with :class:`ReplenishmentConfig` fields overridden."""
+        return replace(self, replenishment=replace(self.replenishment, **overrides))
+
+    def with_lanes(self, **overrides) -> "KmsConfig":
+        """This config distilling real Monte-Carlo epochs on the lane engine."""
+        return self.with_replenishment(mode="montecarlo", backend="lanes", **overrides)
 
     @property
     def rekey_draw_bits(self) -> int:
@@ -157,6 +249,13 @@ class KmsMetrics:
     epochs_run: int = 0
     pad_bits_banked: int = 0
     phase1_reestablishments: int = 0
+    #: End-to-end keys banked gateway-to-gateway into trunk stores.
+    trunk_keys_delivered: int = 0
+    trunk_key_bits: int = 0
+    #: Wall-clock seconds the service spent ordering work (expiry sweeps,
+    #: needy-store heap maintenance) — link selection inside the
+    #: replenisher is timed separately by the scheduler itself.
+    scheduler_overhead_seconds: float = 0.0
     latencies_seconds: List[float] = field(default_factory=list)
 
 
@@ -197,6 +296,16 @@ class SoakReport:
     custody_occupancy_peak_bits: int = 0
     #: Order-independent sha256 over custody-delivered key material.
     custody_delivered_digest: str = ""
+    #: Metro accounting (all zero/empty with ``KmsConfig.zones`` off).
+    zones: int = 0
+    trunk_keys_delivered: int = 0
+    trunk_key_bits: int = 0
+    per_trunk: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Wall-clock scheduling cost: service-side ordering plus the
+    #: replenisher's link selection.  The metro bench's sub-linearity gate
+    #: reads the per-epoch figure.
+    scheduler_overhead_seconds: float = 0.0
+    scheduler_overhead_per_epoch_seconds: float = 0.0
 
     @property
     def completion_accounted(self) -> bool:
@@ -237,12 +346,26 @@ class KeyManagementService:
         self.rng = rng or DeterministicRNG(0)
         self.clock = SimClock()
         self.events = EventScheduler(self.clock)
-        self.workload = workload or TrafficWorkload(
-            WorkloadProfile.poisson(), self.rng.fork_labeled("workload-root")
-        )
-        self.replenisher = ReplenishmentScheduler(
-            relays, self.rng.fork_labeled("replenisher"), self.config.replenishment
-        )
+        self.workload = workload or self._build_workload()
+        self.zone_plan: Optional[ZonePlan] = None
+        if self.config.zones is not None:
+            plan = (
+                self.config.zones
+                if isinstance(self.config.zones, ZonePlan)
+                else ZonePlan.partition(relays.network, self.config.zones)
+            )
+            plan.validate(relays.network)
+            self.zone_plan = plan
+            self.replenisher: ReplenishmentScheduler = ZonedReplenisher(
+                relays,
+                self.rng.fork_labeled("replenisher"),
+                self.config.replenishment,
+                plan,
+            )
+        else:
+            self.replenisher = ReplenishmentScheduler(
+                relays, self.rng.fork_labeled("replenisher"), self.config.replenishment
+            )
         self.metrics = KmsMetrics()
         self._digest = hashlib.sha256()
         self._served = False
@@ -266,7 +389,27 @@ class KeyManagementService:
             raise ValueError("the service needs at least one gateway pair")
         self.stores: Dict[Pair, KeyStore] = {}
         self.gateways: Dict[Pair, GatewayPair] = {}
-        self._waiters: Dict[Pair, List[RekeyWaiter]] = {pair: [] for pair in self.pairs}
+        self._waiters: Dict[Pair, Deque[RekeyWaiter]] = {
+            pair: deque() for pair in self.pairs
+        }
+        #: Indexed replacement for the per-epoch full-store scan: a store is
+        #: a member while it is below high water or has unresolved waiters,
+        #: and the drain order equals the old ``(-priority, pair)`` sort.
+        self._needy: LazyPriorityHeap = LazyPriorityHeap(self._classify_pair)
+        #: One armed ``(deadline, pair)`` entry per pair whose oldest block
+        #: can expire; re-armed after each sweep/deposit.
+        self._expiry_heap: List[Tuple[float, Pair]] = []
+        self._expiry_armed: Dict[Pair, float] = {}
+        #: One trunk store per unordered zone pair, keyed ``(zone_a, zone_b)``.
+        self.trunk_stores: Dict[Tuple[str, str], KeyStore] = {}
+        if self.zone_plan is not None:
+            for za, zb in self.zone_plan.zone_pairs():
+                self.trunk_stores[(za, zb)] = KeyStore(
+                    (self.zone_plan.gateways[za], self.zone_plan.gateways[zb]),
+                    capacity_bits=self.config.trunk_capacity_bits,
+                    low_water_bits=self.config.trunk_low_water_bits,
+                    high_water_bits=self.config.trunk_high_water_bits,
+                )
         for index, pair in enumerate(self.pairs):
             self._build_pair(index, pair)
 
@@ -277,6 +420,39 @@ class KeyManagementService:
     def _default_pairs(self) -> List[Pair]:
         endpoints = sorted(self.relays.network.endpoints())
         return [(a, b) for i, a in enumerate(endpoints) for b in endpoints[i + 1 :]]
+
+    def _build_workload(self) -> TrafficWorkload:
+        profile = self.config.workload
+        stream = self.rng.fork_labeled("workload-root")
+        if isinstance(profile, AggregateProfile):
+            return AggregateWorkload(profile, stream)
+        return TrafficWorkload(profile or WorkloadProfile.poisson(), stream)
+
+    @staticmethod
+    def _pair_addressing(index: int) -> Tuple[str, str, str, str]:
+        """Gateway addresses and policy networks for the ``index``-th pair.
+
+        The first 256 pairs keep the historical ``10.<index>`` scheme (the
+        pinned soak digest covers gateway construction); metro-scale fleets
+        continue into CGNAT space, splitting one /24 per pair into two /25
+        policy networks.  Address uniqueness beyond that is not required —
+        every pair has its own SPD.
+        """
+        if index < 256:
+            return (
+                f"10.{index}.0.1",
+                f"10.{index}.0.2",
+                f"10.{index}.1.0/24",
+                f"10.{index}.2.0/24",
+            )
+        hi, lo = divmod(index - 256, 256)
+        second = 64 + hi % 192
+        return (
+            f"100.{second}.{lo}.1",
+            f"100.{second}.{lo}.2",
+            f"100.{second}.{lo}.0/25",
+            f"100.{second}.{lo}.128/25",
+        )
 
     def _build_pair(self, index: int, pair: Pair) -> None:
         for name in pair:
@@ -290,6 +466,9 @@ class KeyManagementService:
             high_water_bits=config.store_high_water_bits,
             max_key_age_seconds=config.max_key_age_seconds,
         )
+        alice_address, bob_address, source_net, destination_net = self._pair_addressing(
+            index
+        )
         gateways = GatewayPair(
             store.local_pool,
             store.remote_pool,
@@ -297,14 +476,14 @@ class KeyManagementService:
             rng=self.rng.fork_labeled(f"gateway/{pair[0]}--{pair[1]}"),
             alice_name=f"{pair[0]}-gw",
             bob_name=f"{pair[1]}-gw",
-            alice_address=f"10.{index}.0.1",
-            bob_address=f"10.{index}.0.2",
+            alice_address=alice_address,
+            bob_address=bob_address,
         )
         gateways.add_symmetric_policy(
             SecurityPolicy(
                 name=self.POLICY_NAME,
-                source_network=f"10.{index}.1.0/24",
-                destination_network=f"10.{index}.2.0/24",
+                source_network=source_net,
+                destination_network=destination_net,
                 cipher_suite=config.cipher_suite,
                 lifetime_seconds=3600.0,
                 qkd_bits_per_rekey=config.qkd_bits_per_rekey,
@@ -313,6 +492,23 @@ class KeyManagementService:
         gateways.establish()
         self.stores[pair] = store
         self.gateways[pair] = gateways
+        # Wire the level hook after establish(): every deposit/draw/expiry
+        # from here on re-indexes the pair in the needy heap.
+        store.on_level_change = self._on_store_level_change
+        self._needy.push(pair)
+
+    # ---- needy-store indexing ------------------------------------------ #
+
+    def _classify_pair(self, pair: Pair):
+        store = self.stores[pair]
+        if store.available_bits >= store.high_water_bits and not any(
+            not w.resolved for w in self._waiters[pair]
+        ):
+            return (DROP, None)
+        return (EMIT, (-store.refill_priority(), pair))
+
+    def _on_store_level_change(self, store: KeyStore) -> None:
+        self._needy.push(store.pair)
 
     # ------------------------------------------------------------------ #
     # Failure / attack injection (arm before serve())
@@ -382,10 +578,17 @@ class KeyManagementService:
         self._served = True
         horizon = hours * 3600.0
 
-        for time, pair in self.workload.schedule(self.pairs, horizon):
+        # Per-tunnel workloads yield ``(time, pair)``; aggregate workloads
+        # yield ``(time, pair, count)`` — a burst of ``count`` coincident
+        # rekey demands modeled without per-tunnel objects.
+        for item in self.workload.schedule(self.pairs, horizon):
+            time, pair = item[0], item[1]
+            count = item[2] if len(item) > 2 else 1
             self.events.schedule_at(
                 time,
-                lambda pair=pair, time=time: self._on_demand(pair, time),
+                lambda pair=pair, time=time, count=count: self._on_demand(
+                    pair, time, count
+                ),
                 label=f"rekey/{pair[0]}--{pair[1]}",
             )
         self.events.schedule_at(0.0, self._on_epoch, label="epoch")
@@ -404,16 +607,17 @@ class KeyManagementService:
 
     # ---- demand side --------------------------------------------------- #
 
-    def _on_demand(self, pair: Pair, demanded_at: float) -> None:
-        self.metrics.demands += 1
+    def _on_demand(self, pair: Pair, demanded_at: float, count: int = 1) -> None:
         store = self.stores[pair]
         needed = self.config.rekey_draw_bits
-        try:
-            reservation = store.reserve(needed, now=self.clock.now())
-        except KeyStoreExhaustedError:
-            self._enqueue_waiter(pair, demanded_at, needed)
-            return
-        self._complete_rekey(pair, reservation, demanded_at)
+        for _ in range(count):
+            self.metrics.demands += 1
+            try:
+                reservation = store.reserve(needed, now=self.clock.now())
+            except KeyStoreExhaustedError:
+                self._enqueue_waiter(pair, demanded_at, needed)
+                continue
+            self._complete_rekey(pair, reservation, demanded_at)
 
     def _enqueue_waiter(self, pair: Pair, demanded_at: float, needed: int) -> None:
         self.metrics.starvation_events += 1
@@ -424,13 +628,16 @@ class KeyManagementService:
             label=f"rekey-timeout/{pair[0]}--{pair[1]}",
         )
         self._waiters[pair].append(waiter)
+        # A waiter keeps its pair in the needy set even at high water.
+        self._needy.push(pair)
         self._note_path_pressure(pair)
 
     def _on_waiter_timeout(self, waiter: RekeyWaiter) -> None:
         if waiter.resolved:
             return
+        # Lazy deletion: the deque entry stays until a drain reaches it —
+        # no O(n) remove on the timeout hot path.
         waiter.resolved = True
-        self._waiters[waiter.pair].remove(waiter)
         self.metrics.rekeys_timed_out += 1
         self.gateways[waiter.pair].alice.statistics.negotiation_failures += 1
 
@@ -440,11 +647,14 @@ class KeyManagementService:
         queue = self._waiters[pair]
         while queue:
             waiter = queue[0]
+            if waiter.resolved:  # timed out; discard lazily
+                queue.popleft()
+                continue
             try:
                 reservation = store.reserve(waiter.needed_bits, now=self.clock.now())
             except KeyStoreExhaustedError:
                 break
-            queue.pop(0)
+            queue.popleft()
             waiter.resolved = True
             if waiter.timeout_event is not None:
                 waiter.timeout_event.cancel()
@@ -501,6 +711,7 @@ class KeyManagementService:
         self._digest.update(f"{pair[0]}--{pair[1]}|{len(bundle.key)}|".encode())
         self._digest.update(bundle.key.to_bytes())
         self._drain_waiters(pair)
+        self._arm_expiry(pair)
 
     def _deliver(self) -> None:
         """Transport end-to-end keys into every store below its high water.
@@ -509,72 +720,241 @@ class KeyManagementService:
         the shared pairwise pads resolves toward the store being drained
         hardest — and the visit order (hence the delivered-material digest)
         is independent of dict iteration and worker count.
+
+        The order comes from the needy-store heap rather than a full sort:
+        stores parked at high water with no waiters are not members, so an
+        epoch's ordering cost follows the stores that actually need work.
+        With zoning on, intra-zone pairs are refilled by zone-confined live
+        transport and inter-zone pairs draw through their trunk store.
         """
         now = self.clock.now()
-        ordered = sorted(
-            self.stores.items(), key=lambda item: (-item[1].refill_priority(), item[0])
-        )
-        for pair, store in ordered:
-            store.expire(now)
-            starved_here = False
-            while store.available_bits < store.high_water_bits:
-                if self.custody is not None and (
-                    store.available_bits
-                    + self.custody.in_flight_bits(pair[0], pair[1])
-                    >= store.high_water_bits
-                ):
-                    break  # the gap is already covered by parked custody material
-                in_flight_before = (
-                    self.custody.in_flight_bits(pair[0], pair[1])
-                    if self.custody is not None
-                    else 0
+        started = perf_counter()
+        self._sweep_expiry(now)
+        ordered = self._needy.drain()
+        self.metrics.scheduler_overhead_seconds += perf_counter() - started
+        if self.trunk_stores:
+            self._refill_trunks(now)
+        for pair in ordered:
+            if self.zone_plan is not None and not self.zone_plan.same_zone(pair):
+                self._deliver_inter_zone(pair, now)
+            else:
+                within = (
+                    self.zone_plan.members(self.zone_plan.zone_of(pair[0]))
+                    if self.zone_plan is not None
+                    else None
                 )
+                self._deliver_live(pair, now, within)
+            self._drain_waiters(pair)
+            self._arm_expiry(pair)
+        started = perf_counter()
+        for pair in ordered:
+            # Deposits re-indexed pairs already; this covers visits that
+            # changed nothing (e.g. starved with no deposit) so they stay
+            # members until they truly reach high water.
+            self._needy.push(pair)
+        self.metrics.scheduler_overhead_seconds += perf_counter() - started
+
+    # ---- expiry sweeps -------------------------------------------------- #
+
+    def _arm_expiry(self, pair: Pair) -> None:
+        """Index ``pair``'s next block-expiry deadline (if any, and sooner
+        than what is already armed)."""
+        deadline = self.stores[pair].next_expiry_deadline()
+        if deadline is None:
+            return
+        current = self._expiry_armed.get(pair)
+        if current is not None and current <= deadline:
+            return
+        self._expiry_armed[pair] = deadline
+        heapq.heappush(self._expiry_heap, (deadline, pair))
+
+    def _sweep_expiry(self, now: float) -> None:
+        """Expire aged key in deadline order — only pairs actually due."""
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= now:
+            deadline, pair = heapq.heappop(heap)
+            if self._expiry_armed.get(pair) != deadline:
+                continue  # superseded by a later re-arm
+            del self._expiry_armed[pair]
+            self.stores[pair].expire(now)
+            self._arm_expiry(pair)
+
+    # ---- zoned supply --------------------------------------------------- #
+
+    def _refill_trunks(self, now: float) -> None:
+        """Top every trunk store up gateway-to-gateway before zone delivery.
+
+        Trunk material is intermediate (re-drawn per inter-zone delivery),
+        so it feeds trunk accounting but not the delivered-material digest.
+        """
+        plan = self.zone_plan
+        for zone_pair in sorted(self.trunk_stores):
+            trunk = self.trunk_stores[zone_pair]
+            gw_a = plan.gateways[zone_pair[0]]
+            gw_b = plan.gateways[zone_pair[1]]
+            while trunk.available_bits < trunk.high_water_bits:
                 result = self.relays.transport_with_reroute(
-                    pair[0],
-                    pair[1],
-                    key_bits=self.config.transport_key_bits,
-                    now=now,
+                    gw_a, gw_b, key_bits=self.config.transport_key_bits, now=now
                 )
-                if result.custody_accepted:
-                    # Banked (or hop-by-hop forwarded) by the custody layer;
-                    # the delivery callback deposits whenever it arrives, so
-                    # the demand is parked rather than starved.
-                    self.metrics.transports_parked += 1
-                    in_flight = self.custody.in_flight_bits(pair[0], pair[1])
-                    if result.success or in_flight > in_flight_before:
-                        continue
-                    # Custody is evicting our own bundles as fast as we park
-                    # them (bounded store, full); more submissions this epoch
-                    # would only churn the store.
-                    break
                 if not result.success:
-                    starved_here = True
                     self.metrics.transports_failed += 1
                     for hop_a, hop_b in zip(result.path, result.path[1:]):
                         self.replenisher.note_pressure(hop_a, hop_b)
                     break
-                # A reroute is either an explicit mid-transport fallback or
-                # a silent path change forced by a link the routing layer
-                # now avoids (cut, eavesdropped, exhausted).
-                previous_path = self._last_path.get(pair)
-                if result.rerouted or previous_path not in (None, result.path):
-                    self.metrics.reroutes += 1
-                self._last_path[pair] = result.path
-                banked = store.deposit(result.key, now=now)
-                self.metrics.delivered_keys += 1
-                self.metrics.delivered_key_bits += len(result.key)
-                self._digest.update(f"{pair[0]}--{pair[1]}|{len(result.key)}|".encode())
-                self._digest.update(result.key.to_bytes())
+                banked = trunk.deposit(result.key, now=now)
+                self.metrics.trunk_keys_delivered += 1
+                self.metrics.trunk_key_bits += len(result.key)
                 if banked == 0:
                     break
-            if starved_here and store.below_low_water:
-                store.statistics.starved_epochs += 1
-                self._note_path_pressure(pair)
-            self._drain_waiters(pair)
 
-    def _note_path_pressure(self, pair: Pair) -> None:
+    def _zone_legs(self, pair: Pair) -> List[List[str]]:
+        """The two last-mile paths an inter-zone delivery must pad-spend:
+        source to its zone gateway, destination's gateway to destination —
+        each confined to its own zone.  Raises RoutingError when a leg has
+        no usable in-zone path."""
+        plan = self.zone_plan
+        legs: List[List[str]] = []
+        for node, outward in ((pair[0], True), (pair[1], False)):
+            zone = plan.zone_of(node)
+            gateway = plan.gateways[zone]
+            if node == gateway:
+                legs.append([node])
+                continue
+            ends = (node, gateway) if outward else (gateway, node)
+            legs.append(
+                self.relays.selector.find_path(*ends, within=plan.members(zone))
+            )
+        return legs
+
+    def _deliver_inter_zone(self, pair: Pair, now: float) -> None:
+        """Refill one cross-zone store from its trunk.
+
+        End-to-end key is drawn (lockstep, both pools) from the zone pair's
+        trunk store, then carried over the two in-zone legs by spending
+        their pairwise pads — the relay RNG is never touched, so intra-zone
+        key material is independent of inter-zone traffic."""
+        store = self.stores[pair]
+        plan = self.zone_plan
+        zone_pair = tuple(
+            sorted((plan.zone_of(pair[0]), plan.zone_of(pair[1])))
+        )
+        trunk = self.trunk_stores[zone_pair]
+        bits = self.config.transport_key_bits
+        starved_here = False
+        while store.available_bits < store.high_water_bits:
+            try:
+                legs = self._zone_legs(pair)
+            except RoutingError:
+                starved_here = True
+                self.metrics.transports_failed += 1
+                break
+            try:
+                reservation = trunk.reserve(bits, now=now)
+            except KeyStoreExhaustedError:
+                starved_here = True
+                self.metrics.transports_failed += 1
+                self._note_trunk_pressure(zone_pair)
+                break
+            shortage = self.relays.path_pad_shortage(legs, bits // 8)
+            if shortage is not None:
+                trunk.release(reservation)
+                starved_here = True
+                self.metrics.transports_failed += 1
+                self.replenisher.note_pressure(*shortage)
+                break
+            with trunk.consuming(reservation, now=now):
+                key = trunk.local_pool.draw_bits(bits)
+                trunk.remote_pool.draw_bits(bits)
+            self.relays.spend_path_pad(legs, key.to_bytes())
+            combined = legs[0] + legs[1]
+            if self._last_path.get(pair) not in (None, combined):
+                self.metrics.reroutes += 1
+            self._last_path[pair] = combined
+            banked = store.deposit(key, now=now)
+            self.metrics.delivered_keys += 1
+            self.metrics.delivered_key_bits += len(key)
+            self._digest.update(f"{pair[0]}--{pair[1]}|{len(key)}|".encode())
+            self._digest.update(key.to_bytes())
+            if banked == 0:
+                break
+        if starved_here and store.below_low_water:
+            store.statistics.starved_epochs += 1
+
+    def _note_trunk_pressure(self, zone_pair: Tuple[str, str]) -> None:
+        """An exhausted trunk pressures the gateway-to-gateway path that
+        refills it."""
+        plan = self.zone_plan
+        self._note_path_pressure(
+            (plan.gateways[zone_pair[0]], plan.gateways[zone_pair[1]])
+        )
+
+    # ---- live (flat / intra-zone) supply -------------------------------- #
+
+    def _deliver_live(
+        self, pair: Pair, now: float, within: Optional[Tuple[str, ...]] = None
+    ) -> None:
+        store = self.stores[pair]
+        starved_here = False
+        while store.available_bits < store.high_water_bits:
+            if self.custody is not None and (
+                store.available_bits
+                + self.custody.in_flight_bits(pair[0], pair[1])
+                >= store.high_water_bits
+            ):
+                break  # the gap is already covered by parked custody material
+            in_flight_before = (
+                self.custody.in_flight_bits(pair[0], pair[1])
+                if self.custody is not None
+                else 0
+            )
+            result = self.relays.transport_with_reroute(
+                pair[0],
+                pair[1],
+                key_bits=self.config.transport_key_bits,
+                now=now,
+                within=within,
+            )
+            if result.custody_accepted:
+                # Banked (or hop-by-hop forwarded) by the custody layer;
+                # the delivery callback deposits whenever it arrives, so
+                # the demand is parked rather than starved.
+                self.metrics.transports_parked += 1
+                in_flight = self.custody.in_flight_bits(pair[0], pair[1])
+                if result.success or in_flight > in_flight_before:
+                    continue
+                # Custody is evicting our own bundles as fast as we park
+                # them (bounded store, full); more submissions this epoch
+                # would only churn the store.
+                break
+            if not result.success:
+                starved_here = True
+                self.metrics.transports_failed += 1
+                for hop_a, hop_b in zip(result.path, result.path[1:]):
+                    self.replenisher.note_pressure(hop_a, hop_b)
+                break
+            # A reroute is either an explicit mid-transport fallback or
+            # a silent path change forced by a link the routing layer
+            # now avoids (cut, eavesdropped, exhausted).
+            previous_path = self._last_path.get(pair)
+            if result.rerouted or previous_path not in (None, result.path):
+                self.metrics.reroutes += 1
+            self._last_path[pair] = result.path
+            banked = store.deposit(result.key, now=now)
+            self.metrics.delivered_keys += 1
+            self.metrics.delivered_key_bits += len(result.key)
+            self._digest.update(f"{pair[0]}--{pair[1]}|{len(result.key)}|".encode())
+            self._digest.update(result.key.to_bytes())
+            if banked == 0:
+                break
+        if starved_here and store.below_low_water:
+            store.statistics.starved_epochs += 1
+            self._note_path_pressure(pair, within)
+
+    def _note_path_pressure(
+        self, pair: Pair, within: Optional[Tuple[str, ...]] = None
+    ) -> None:
         try:
-            path = self.relays.selector.find_path(pair[0], pair[1])
+            path = self.relays.selector.find_path(pair[0], pair[1], within=within)
         except RoutingError:
             return
         for hop_a, hop_b in zip(path, path[1:]):
@@ -608,7 +988,12 @@ class KeyManagementService:
 
     @property
     def pending_waiters(self) -> int:
-        return sum(len(queue) for queue in self._waiters.values())
+        # Resolved entries may linger in the deques (lazy deletion) — count
+        # only waiters still actually parked.
+        return sum(
+            sum(1 for waiter in queue if not waiter.resolved)
+            for queue in self._waiters.values()
+        )
 
     def delivered_digest(self) -> str:
         """The running sha256 over all delivered end-to-end key material."""
@@ -636,6 +1021,17 @@ class KeyManagementService:
                 "starved_epochs": float(stats.starved_epochs),
                 "rekeys": float(self.gateways[pair].alice.statistics.negotiations),
             }
+        per_trunk: Dict[str, Dict[str, float]] = {}
+        for zone_pair, trunk in sorted(self.trunk_stores.items()):
+            per_trunk[f"{zone_pair[0]}--{zone_pair[1]}"] = {
+                "available_bits": float(trunk.available_bits),
+                "bits_deposited": float(trunk.statistics.bits_deposited),
+                "bits_consumed": float(trunk.statistics.bits_consumed),
+                "reservations_denied": float(trunk.statistics.reservations_denied),
+            }
+        scheduler_overhead = (
+            metrics.scheduler_overhead_seconds + self.replenisher.selection_seconds
+        )
         return SoakReport(
             simulated_seconds=horizon,
             demands=metrics.demands,
@@ -679,6 +1075,14 @@ class KeyManagementService:
             ),
             custody_delivered_digest=(
                 self.custody.delivered_digest if self.custody else ""
+            ),
+            zones=len(self.zone_plan.zones) if self.zone_plan else 0,
+            trunk_keys_delivered=metrics.trunk_keys_delivered,
+            trunk_key_bits=metrics.trunk_key_bits,
+            per_trunk=per_trunk,
+            scheduler_overhead_seconds=scheduler_overhead,
+            scheduler_overhead_per_epoch_seconds=(
+                scheduler_overhead / max(metrics.epochs_run, 1)
             ),
         )
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from contextlib import contextmanager
 
@@ -140,6 +140,15 @@ class KeyStore:
         self._depletion_rate_bps = 0.0
         self._last_consume_time: Optional[float] = None
         self._bits_since_last = 0
+        #: Called with this store after any event that can change its
+        #: :meth:`refill_priority` (deposit, draw, expiry, rate update) —
+        #: the hook the service's indexed needy-set rides so it never has
+        #: to rescan every store per epoch.
+        self.on_level_change: Optional[Callable[["KeyStore"], None]] = None
+
+    def _notify_level_change(self) -> None:
+        if self.on_level_change is not None:
+            self.on_level_change(self)
 
     # ------------------------------------------------------------------ #
     # Levels
@@ -203,7 +212,19 @@ class KeyStore:
         self.remote_pool.add_block(KeyBlock(banked.copy(), block_id, created_at=now))
         self.statistics.bits_deposited += len(banked)
         self.statistics.deposits += 1
+        self._notify_level_change()
         return len(banked)
+
+    def next_expiry_deadline(self) -> Optional[float]:
+        """When the oldest stored block will age out (None: nothing to expire).
+
+        The service's expiry sweep keeps one deadline-heap entry per store,
+        re-armed from this after each sweep, instead of calling
+        :meth:`expire` on every store every epoch.
+        """
+        if self.max_key_age_seconds is None or not self.local_pool.blocks:
+            return None
+        return self.local_pool.blocks[0].created_at + self.max_key_age_seconds
 
     def expire(self, now: float) -> int:
         """Apply the age limit (if any); returns bits dropped from each pool.
@@ -232,6 +253,7 @@ class KeyStore:
         self.local_pool.drop_head_blocks(to_drop_blocks)
         self.remote_pool.drop_head_blocks(to_drop_blocks)
         self.statistics.bits_expired += to_drop_bits
+        self._notify_level_change()
         return to_drop_bits
 
     # ------------------------------------------------------------------ #
@@ -322,6 +344,7 @@ class KeyStore:
         if pool is self.local_pool:
             self.statistics.bits_consumed += count
             self._bits_since_last += count
+            self._notify_level_change()
 
     def _note_consumption(self, now: float) -> None:
         """Fold the draws since the previous event into the rate EWMA."""
@@ -339,6 +362,9 @@ class KeyStore:
         instantaneous = self._bits_since_last / dt
         self._depletion_rate_bps += alpha * (instantaneous - self._depletion_rate_bps)
         self._bits_since_last = 0
+        # The EWMA feeds refill_priority, so a rate change is a level change
+        # as far as the scheduler's indexed ordering is concerned.
+        self._notify_level_change()
 
     def __repr__(self) -> str:
         return (

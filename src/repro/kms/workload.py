@@ -25,6 +25,7 @@ Two arrival profiles:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -130,5 +131,151 @@ class TrafficWorkload:
         merged: List[Tuple[float, Tuple[str, str]]] = []
         for pair in sorted(pairs):
             merged.extend((t, pair) for t in self.demand_times(pair, horizon_seconds))
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return merged
+
+
+@dataclass(frozen=True)
+class AggregateProfile:
+    """Compound-arrival demand for a whole *class* of tunnels per pair.
+
+    A metro gateway pair fronts thousands to millions of tunnels; modeling
+    each one as its own arrival process (``WorkloadProfile`` ×
+    ``tunnels``) costs per-tunnel objects and per-tunnel RNG streams.  This
+    profile models the class in aggregate:
+
+    ``poisson``
+        The superposition of ``tunnels`` independent Poisson processes is
+        itself Poisson at the summed rate — arrivals at mean interval
+        ``mean_interval_seconds / tunnels``, one rekey each.  Exactly
+        equivalent in distribution to the per-tunnel model, which is what
+        the differential tests pin.
+
+    ``storm``
+        Compound Poisson: storms arrive at ``mean_interval_seconds`` and
+        each carries a heavy-tailed batch of coincident rekeys (truncated
+        zeta with tail exponent ``alpha``) — the DimDim observation that
+        real session load arrives in power-law bursts, not as independent
+        trickles (arxiv 1011.2893).
+    """
+
+    kind: str = "poisson"
+    #: Tunnels represented by the class (poisson divides the per-tunnel
+    #: mean interval by this).
+    tunnels: int = 1_000
+    #: Per-tunnel mean seconds between rekeys (poisson) or seconds between
+    #: storms (storm).
+    mean_interval_seconds: float = 120.0
+    #: Power-law tail exponent of storm batch sizes (storm only).
+    alpha: float = 2.5
+    #: Truncation of a single storm's batch (storm only).
+    max_batch: int = 10_000
+
+    KINDS = ("poisson", "storm")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"aggregate profile kind must be one of {self.KINDS}")
+        if self.tunnels < 1:
+            raise ValueError("an aggregate class needs at least one tunnel")
+        if self.mean_interval_seconds <= 0:
+            raise ValueError("mean interval must be positive")
+        if self.alpha <= 1.0:
+            raise ValueError("tail exponent must exceed 1 (else no finite mass)")
+        if self.max_batch < 1:
+            raise ValueError("max batch must be at least 1")
+
+    @classmethod
+    def poisson(
+        cls, tunnels: int, mean_interval_seconds: float = 120.0
+    ) -> "AggregateProfile":
+        return cls(
+            kind="poisson", tunnels=tunnels, mean_interval_seconds=mean_interval_seconds
+        )
+
+    @classmethod
+    def storm(
+        cls,
+        tunnels: int,
+        mean_interval_seconds: float = 300.0,
+        alpha: float = 2.5,
+        max_batch: int = 10_000,
+    ) -> "AggregateProfile":
+        return cls(
+            kind="storm",
+            tunnels=tunnels,
+            mean_interval_seconds=mean_interval_seconds,
+            alpha=alpha,
+            max_batch=max_batch,
+        )
+
+
+class AggregateWorkload:
+    """Deterministic compound demand schedules for pair classes.
+
+    Same stream discipline as :class:`TrafficWorkload` — one labeled fork
+    per pair (``workload/agg/<a>--<b>``), so the schedule is a pure function
+    of ``(seed, profile, pair name)`` — but each arrival carries a *count*
+    of coincident rekeys instead of being one rekey.
+    """
+
+    def __init__(self, profile: AggregateProfile, rng: DeterministicRNG):
+        self.profile = profile
+        self._rng = rng
+        # Truncated-zeta batch sampler: inverse CDF over k = 1..max_batch
+        # with mass ∝ k^-alpha, resolved by bisect per draw.
+        if profile.kind == "storm":
+            weights: List[float] = []
+            total = 0.0
+            for k in range(1, profile.max_batch + 1):
+                total += k ** -profile.alpha
+                weights.append(total)
+            self._batch_cdf = [w / total for w in weights]
+        else:
+            self._batch_cdf = []
+
+    @staticmethod
+    def pair_label(pair: Tuple[str, str]) -> str:
+        return f"{pair[0]}--{pair[1]}"
+
+    def _batch_size(self, stream: DeterministicRNG) -> int:
+        u = stream.uniform(0.0, 1.0)
+        return bisect.bisect_left(self._batch_cdf, u) + 1
+
+    def demand_events(
+        self, pair: Tuple[str, str], horizon_seconds: float
+    ) -> List[Tuple[float, int]]:
+        """Every ``(time, count)`` demand burst for one pair in ``[0, horizon)``."""
+        if horizon_seconds < 0:
+            raise ValueError("horizon must be non-negative")
+        profile = self.profile
+        stream = self._rng.fork_labeled(f"workload/agg/{self.pair_label(pair)}")
+        mean = (
+            profile.mean_interval_seconds / profile.tunnels
+            if profile.kind == "poisson"
+            else profile.mean_interval_seconds
+        )
+        events: List[Tuple[float, int]] = []
+        now = 0.0
+        while True:
+            now += stream.exponential(mean)
+            if now >= horizon_seconds:
+                break
+            count = 1 if profile.kind == "poisson" else self._batch_size(stream)
+            events.append((now, count))
+        return events
+
+    def schedule(
+        self, pairs: List[Tuple[str, str]], horizon_seconds: float
+    ) -> List[Tuple[float, Tuple[str, str], int]]:
+        """The merged ``(time, pair, count)`` schedule, ordered by time then
+        pair name — the 3-tuple form :meth:`KeyManagementService.serve`
+        expands into ``count`` coincident demands."""
+        merged: List[Tuple[float, Tuple[str, str], int]] = []
+        for pair in sorted(pairs):
+            merged.extend(
+                (t, pair, count)
+                for t, count in self.demand_events(pair, horizon_seconds)
+            )
         merged.sort(key=lambda item: (item[0], item[1]))
         return merged

@@ -16,7 +16,7 @@ trust exposure the paper identifies as the architecture's prime weakness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.otp import OneTimePad
 from repro.network.routing import PathSelector, RoutingError
@@ -88,6 +88,10 @@ class TrustedRelayNetwork:
         self.custody: Optional["CustodyTransport"] = None
         #: Counts parallel refills so each one derives fresh per-link streams.
         self._refill_epoch = 0
+        #: Called with a sorted node pair whenever that link's pad level
+        #: changes (consumption or banking) — the hook the kms scheduler's
+        #: lazy-deletion heap rides so it never has to rescan all links.
+        self._pad_listeners: List[Callable[[Tuple[str, str]], None]] = []
         for edge in network.links():
             self.pairwise_pads[self._pad_key(edge.node_a, edge.node_b)] = OneTimePad()
 
@@ -133,6 +137,28 @@ class TrustedRelayNetwork:
     def pad_for(self, node_a: str, node_b: str) -> OneTimePad:
         return self.pairwise_pads[self._pad_key(node_a, node_b)]
 
+    def add_pad_listener(self, listener: Callable[[Tuple[str, str]], None]) -> None:
+        """Subscribe to pad-level changes (called with the sorted pair)."""
+        self._pad_listeners.append(listener)
+
+    def notify_pad_change(self, node_a: str, node_b: str) -> None:
+        """Tell subscribers one link's pad level just changed.
+
+        Every code path that consumes or banks pairwise pad must call this
+        (or go through :meth:`bank_pad`); the kms scheduler's indexed
+        dispatch order is only exact if no pad change goes unannounced.
+        """
+        key = self._pad_key(node_a, node_b)
+        for listener in self._pad_listeners:
+            listener(key)
+
+    def bank_pad(self, node_a: str, node_b: str, material: bytes) -> None:
+        """Add pairwise pad material to one link and announce the change."""
+        if not material:
+            return
+        self.pad_for(node_a, node_b).add_key_material(material)
+        self.notify_pad_change(node_a, node_b)
+
     def run_links_for(
         self,
         seconds: float,
@@ -167,7 +193,7 @@ class TrustedRelayNetwork:
                 material = bytes(
                     self.rng.getrandbits(8) for _ in range(new_bytes)
                 )
-                self.pad_for(edge.node_a, edge.node_b).add_key_material(material)
+                self.bank_pad(edge.node_a, edge.node_b, material)
             return
 
         from repro.runtime.pool import parallel_map
@@ -190,7 +216,7 @@ class TrustedRelayNetwork:
             pad_material_from_seed, jobs, workers=workers, backend=backend
         )
         for (node_a, node_b), material in zip(pairs, materials):
-            self.pad_for(node_a, node_b).add_key_material(material)
+            self.bank_pad(node_a, node_b, material)
 
     def pairwise_key_available_bits(self, node_a: str, node_b: str) -> int:
         return self.pad_for(node_a, node_b).available_bytes * 8
@@ -238,18 +264,20 @@ class TrustedRelayNetwork:
         source: str,
         destination: str,
         key_bits: int = 256,
+        within: Optional[Iterable[str]] = None,
     ) -> KeyTransportResult:
         """Deliver a fresh end-to-end key from ``source`` to ``destination``.
 
         The key is generated at the source, then one-time-pad wrapped across
         each hop in turn; every intermediate relay decrypts and re-encrypts
         it, so it appears in the relay's memory in the clear.  Any hop whose
-        pairwise pool cannot cover the key aborts the transport.
+        pairwise pool cannot cover the key aborts the transport.  ``within``
+        confines routing to a node subset (zone-scoped transport).
         """
         if key_bits <= 0 or key_bits % 8:
             raise ValueError("key length must be a positive multiple of 8 bits")
         try:
-            path = self.selector.find_path(source, destination)
+            path = self.selector.find_path(source, destination, within=within)
         except RoutingError as exc:
             result = KeyTransportResult(success=False, failure_reason=str(exc))
             self.transports.append(result)
@@ -284,6 +312,7 @@ class TrustedRelayNetwork:
             # uses the same pad bytes the sender consumed.
             hop_pad_bytes = pad.peek(len(in_flight))
             ciphertext = pad.encrypt(in_flight)
+            self.notify_pad_change(node_a, node_b)
             pad_consumed += len(in_flight) * 8
             arriving_node = node_b
             in_flight = bytes(c ^ p for c, p in zip(ciphertext, hop_pad_bytes))
@@ -302,7 +331,12 @@ class TrustedRelayNetwork:
         return result
 
     def transport_with_reroute(
-        self, source: str, destination: str, key_bits: int = 256, now: float = 0.0
+        self,
+        source: str,
+        destination: str,
+        key_bits: int = 256,
+        now: float = 0.0,
+        within: Optional[Iterable[str]] = None,
     ) -> KeyTransportResult:
         """Transport a key, falling back to alternative paths on failure.
 
@@ -312,9 +346,10 @@ class TrustedRelayNetwork:
         enabled (:meth:`enable_custody`) there is a second fallback: a key
         that cannot move end to end *now* is banked at the furthest
         reachable custodian and store-and-forwarded as contacts open —
-        ``now`` timestamps the custody submission.
+        ``now`` timestamps the custody submission.  ``within`` confines
+        routing (and every retry) to a node subset.
         """
-        first = self.transport_key(source, destination, key_bits)
+        first = self.transport_key(source, destination, key_bits, within=within)
         if first.success:
             return first
 
@@ -329,16 +364,16 @@ class TrustedRelayNetwork:
                 link = self.network.link(node_a, node_b)
                 if not link.operational:
                     break
-                link.operational = False
+                self.network.suspend_link(node_a, node_b)
                 excluded.append((node_a, node_b))
-                retry = self.transport_key(source, destination, key_bits)
+                retry = self.transport_key(source, destination, key_bits, within=within)
                 if retry.success:
                     retry.rerouted = True
                     return retry
                 last = retry
         finally:
             for node_a, node_b in excluded:
-                self.network.link(node_a, node_b).operational = True
+                self.network.resume_link(node_a, node_b)
 
         last.failure_reason += " (no usable alternative path)"
         if self.custody is not None:
@@ -398,6 +433,39 @@ class TrustedRelayNetwork:
             custodian=custodian,
             bundle_id=bundle.bundle_id,
         )
+
+    # ------------------------------------------------------------------ #
+    # Path-pad accounting (zoned kms delivery)
+    # ------------------------------------------------------------------ #
+
+    def path_pad_shortage(
+        self, paths: Sequence[Sequence[str]], n_bytes: int
+    ) -> Optional[Tuple[str, str]]:
+        """The first hop (across all ``paths``) that cannot cover ``n_bytes``
+        of pad, or ``None`` when every hop can — the all-or-nothing precheck
+        for a segmented (trunk + zone legs) delivery."""
+        for path in paths:
+            for node_a, node_b in zip(path, path[1:]):
+                if self.pad_for(node_a, node_b).available_bytes < n_bytes:
+                    return self._pad_key(node_a, node_b)
+        return None
+
+    def spend_path_pad(self, paths: Sequence[Sequence[str]], payload: bytes) -> int:
+        """Consume pairwise pad carrying ``payload`` across every hop of the
+        given paths, exactly as live transport does (one OTP encryption per
+        hop), returning the total pad bits consumed.
+
+        The caller prechecks with :meth:`path_pad_shortage`; the zoned kms
+        uses this for the intra-zone legs of an inter-zone delivery, whose
+        key material comes from a trunk store rather than a fresh draw.
+        """
+        consumed = 0
+        for path in paths:
+            for node_a, node_b in zip(path, path[1:]):
+                self.pad_for(node_a, node_b).encrypt(payload)
+                self.notify_pad_change(node_a, node_b)
+                consumed += len(payload) * 8
+        return consumed
 
     # ------------------------------------------------------------------ #
 

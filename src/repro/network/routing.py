@@ -10,7 +10,7 @@ bottleneck-avoiding choice for sustained key transport).
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Optional
 
 import networkx as nx
 
@@ -58,18 +58,39 @@ class PathSelector:
         # inverse-rate: prefer links with plenty of key; guard against zero.
         return 1.0 / max(link.secret_key_rate_bps, 1e-6)
 
-    def find_path(self, source: str, destination: str) -> List[str]:
+    def _usable(self, within: Optional[Iterable[str]]) -> "nx.Graph":
+        """The usable subgraph, optionally restricted to a node subset.
+
+        ``within`` is the zone-aware query the metro-scale kms layer uses:
+        a path confined to one zone's members never leaves the zone, so a
+        zone scheduler's work stays independent of the rest of the mesh.
+        """
+        usable = self.network.usable_subgraph()
+        if within is None:
+            return usable
+        allowed = set(within)
+        return usable.subgraph(n for n in usable.nodes if n in allowed)
+
+    def find_path(
+        self,
+        source: str,
+        destination: str,
+        within: Optional[Iterable[str]] = None,
+    ) -> List[str]:
         """The best usable path, as a list of node names (inclusive of ends).
 
         Raises :class:`RoutingError` if the usable subgraph does not connect
         the two nodes — the situation a point-to-point deployment is always
-        one fiber cut away from, and a mesh is designed to avoid.
+        one fiber cut away from, and a mesh is designed to avoid.  With
+        ``within`` the search is confined to that node subset (zone-scoped
+        queries); both ends must be members.
         """
-        usable = self.network.usable_subgraph()
+        usable = self._usable(within)
         for name in (source, destination):
             if name not in usable:
                 raise RoutingError(
                     f"unknown node {name!r} in route {source!r} -> {destination!r}"
+                    + (" (restricted to within-set)" if within is not None else "")
                 )
         try:
             return nx.shortest_path(
@@ -81,9 +102,14 @@ class PathSelector:
                 + _describe_reachable(usable, source)
             ) from exc
 
-    def path_exists(self, source: str, destination: str) -> bool:
+    def path_exists(
+        self,
+        source: str,
+        destination: str,
+        within: Optional[Iterable[str]] = None,
+    ) -> bool:
         try:
-            self.find_path(source, destination)
+            self.find_path(source, destination, within=within)
             return True
         except RoutingError:
             return False

@@ -66,6 +66,10 @@ class QKDNetwork:
     def __init__(self, rng: Optional[DeterministicRNG] = None):
         self.graph = nx.Graph()
         self.rng = rng or DeterministicRNG(0)
+        #: Sorted node pairs of links currently not usable, maintained by
+        #: every state-changing method so per-epoch consumers (the kms
+        #: replenishment scheduler) need not walk all links to find them.
+        self._unusable: set = set()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -128,21 +132,50 @@ class QKDNetwork:
                 usable.add_edge(a, b, **data)
         return usable
 
+    def unusable_link_keys(self) -> List[Tuple[str, str]]:
+        """Sorted node pairs of links currently cut, suspended or flagged."""
+        return sorted(self._unusable)
+
     # ------------------------------------------------------------------ #
     # Failure / attack injection
     # ------------------------------------------------------------------ #
 
+    def _note_state(self, node_a: str, node_b: str) -> None:
+        key = tuple(sorted((node_a, node_b)))
+        if self.link(node_a, node_b).usable:
+            self._unusable.discard(key)
+        else:
+            self._unusable.add(key)
+
     def cut_link(self, node_a: str, node_b: str) -> None:
         """Take a link down (fiber cut or equipment failure)."""
         self.link(node_a, node_b).operational = False
+        self._note_state(node_a, node_b)
 
     def restore_link(self, node_a: str, node_b: str) -> None:
         self.link(node_a, node_b).operational = True
         self.link(node_a, node_b).eavesdropping_detected = False
+        self._note_state(node_a, node_b)
+
+    def suspend_link(self, node_a: str, node_b: str) -> None:
+        """Temporarily exclude a link from routing without clearing flags.
+
+        Unlike :meth:`cut_link`/:meth:`restore_link` this pair is for
+        short-lived exclusions (an exhausted pad during a reroute search):
+        :meth:`resume_link` puts the operational bit back without touching
+        the eavesdropping flag, so a quarantined link stays quarantined.
+        """
+        self.link(node_a, node_b).operational = False
+        self._note_state(node_a, node_b)
+
+    def resume_link(self, node_a: str, node_b: str) -> None:
+        self.link(node_a, node_b).operational = True
+        self._note_state(node_a, node_b)
 
     def mark_eavesdropped(self, node_a: str, node_b: str) -> None:
         """Record that this link's QKD protocols detected eavesdropping."""
         self.link(node_a, node_b).eavesdropping_detected = True
+        self._note_state(node_a, node_b)
 
     def fail_random_links(self, count: int) -> List[QKDLinkEdge]:
         """Cut ``count`` distinct randomly chosen operational links."""
@@ -151,6 +184,7 @@ class QKDNetwork:
         chosen = self.rng.sample(candidates, count)
         for edge in chosen:
             edge.operational = False
+            self._note_state(edge.node_a, edge.node_b)
         return chosen
 
     # ------------------------------------------------------------------ #

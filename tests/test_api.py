@@ -4,6 +4,12 @@ import pytest
 
 from repro import MeshSystem, QKDSystem, SystemConfig, VPNSystem
 from repro.ipsec.spd import CipherSuite
+from repro.kms import (
+    AggregateProfile,
+    KmsConfig,
+    TrafficWorkload,
+    WorkloadProfile,
+)
 from repro.link import LinkParameters, QKDLink
 from repro.util.rng import DeterministicRNG
 
@@ -160,6 +166,66 @@ class TestMeshFacade:
         mesh.run_links_for(10.0)
         after = mesh.relays.pairwise_key_available_bits(edge.node_a, edge.node_b)
         assert after > before
+
+
+class TestConfigFirstKms:
+    """The config-first kms() surface and its deprecated kwarg aliases."""
+
+    def make_mesh(self):
+        return QKDSystem(seed=7).mesh(n_endpoints=2, n_relays=2)
+
+    def test_builders_return_new_configs(self):
+        base = KmsConfig()
+        zoned = base.with_zones(2)
+        custodial = base.with_custody(ttl_seconds=600.0)
+        loaded = base.with_workload(AggregateProfile.poisson(tunnels=10))
+        assert base.zones is None and base.custody is False and base.workload is None
+        assert zoned.zones == 2 and zoned is not base
+        assert custodial.custody is True and custodial.custody_ttl_seconds == 600.0
+        assert loaded.workload.tunnels == 10
+
+    def test_custody_and_zones_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            KmsConfig().with_zones(2).with_custody()
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            KmsConfig().with_custody().with_zones(2)
+
+    def test_with_lanes_alias_warns_and_still_works(self):
+        mesh = self.make_mesh()
+        with pytest.warns(DeprecationWarning, match=r"with_lanes"):
+            laned = mesh.with_lanes(max_links_per_epoch=2)
+        service = laned.kms()
+        assert service.config.replenishment.backend == "lanes"
+        assert service.config.replenishment.max_links_per_epoch == 2
+
+    def test_with_custody_alias_warns_and_still_works(self):
+        mesh = self.make_mesh()
+        with pytest.warns(DeprecationWarning, match="with_custody"):
+            custodial = mesh.with_custody(ttl_seconds=900.0)
+        service = custodial.kms()
+        assert service.config.custody is True
+        assert service.config.custody_ttl_seconds == 900.0
+
+    def test_kms_workload_kwarg_warns(self):
+        mesh = self.make_mesh()
+        workload = TrafficWorkload(
+            WorkloadProfile.poisson(1_200.0), DeterministicRNG(3)
+        )
+        with pytest.warns(DeprecationWarning, match="with_workload"):
+            service = mesh.kms(workload=workload)
+        assert service.workload is workload
+
+    def test_config_first_path_is_warning_free(self):
+        import warnings as warnings_module
+
+        mesh = self.make_mesh()
+        config = KmsConfig().with_workload(
+            AggregateProfile.poisson(tunnels=5, mean_interval_seconds=600.0)
+        )
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", DeprecationWarning)
+            service = mesh.kms(config)
+        assert service.config.workload is config.workload
 
 
 class TestPackageExports:

@@ -22,6 +22,7 @@ from repro.kms import (
     WorkloadProfile,
     percentile,
 )
+from repro.kms.indexing import DEFER, DROP, EMIT, LazyPriorityHeap
 from repro.network.relay import TrustedRelayNetwork
 from repro.util.bits import BitString
 from repro.util.rng import DeterministicRNG
@@ -208,6 +209,72 @@ class TestTrafficWorkload:
 
 
 # --------------------------------------------------------------------- #
+# Indexed priority structures
+# --------------------------------------------------------------------- #
+
+
+class TestLazyPriorityHeap:
+    """The lazy-deletion index behind link selection and needy-store sweeps."""
+
+    @staticmethod
+    def build(priorities, unusable=(), dropped=()):
+        def classify(key):
+            if key in dropped:
+                return (DROP, None)
+            verdict = DEFER if key in unusable else EMIT
+            return (verdict, (priorities[key], key))
+
+        heap = LazyPriorityHeap(classify)
+        for key in priorities:
+            heap.push(key)
+        return heap
+
+    def test_drains_in_exact_sorted_order(self):
+        priorities = {"e": 3, "a": 1, "c": 0, "b": 1, "d": 7}
+        heap = self.build(priorities)
+        assert heap.drain() == sorted(priorities, key=lambda k: (priorities[k], k))
+        assert len(heap) == 0
+
+    def test_limit_caps_emission_and_keeps_the_rest(self):
+        heap = self.build({"a": 1, "b": 2, "c": 3})
+        assert heap.drain(limit=2) == ["a", "b"]
+        assert "c" in heap and len(heap) == 1
+        assert heap.drain() == ["c"]
+
+    def test_deferred_members_stay_indexed_and_do_not_count(self):
+        unusable = {"a"}
+        heap = self.build({"a": 1, "b": 2, "c": 3}, unusable=unusable)
+        # 'a' outranks both but is deferred: kept, uncounted, unemitted.
+        assert heap.drain(limit=2) == ["b", "c"]
+        assert "a" in heap
+        unusable.clear()  # usability flips need no push — DEFER kept it indexed
+        assert heap.drain() == ["a"]
+
+    def test_drop_removes_membership(self):
+        dropped = set()
+        heap = self.build({"a": 1, "b": 2}, dropped=dropped)
+        dropped.add("a")  # reached its target after being indexed
+        assert heap.drain() == ["b"]
+        assert "a" not in heap and len(heap) == 0
+        heap.push("a")  # push classifies immediately: still at target
+        assert len(heap) == 0
+
+    def test_push_supersedes_and_less_urgent_drift_self_heals(self):
+        priorities = {"a": 5, "b": 3}
+        heap = self.build(priorities)
+        priorities["a"] = 1
+        heap.push("a")  # more-urgent changes must be pushed (the contract)
+        priorities["b"] = 9  # less-urgent drift self-heals at pop time
+        assert heap.drain() == ["a", "b"]
+
+    def test_discard_is_lazy(self):
+        heap = self.build({"a": 1, "b": 2})
+        heap.discard("a")
+        assert "a" not in heap
+        assert heap.drain() == ["b"]
+
+
+# --------------------------------------------------------------------- #
 # Replenishment scheduler
 # --------------------------------------------------------------------- #
 
@@ -300,6 +367,93 @@ class TestReplenishmentScheduler:
             ReplenishmentConfig(mode="psychic")
         with pytest.raises(ValueError):
             ReplenishmentConfig(epoch_seconds=0)
+
+    def test_unknown_link_raises_keyerror_naming_known_set(self):
+        relays = make_relays()
+        scheduler = ReplenishmentScheduler(
+            relays, DeterministicRNG(1), ReplenishmentConfig(workers=1)
+        )
+        with pytest.raises(KeyError, match=r"unknown link.*known link\(s\):"):
+            scheduler.note_pressure("relay-0", "not-a-node")
+        with pytest.raises(KeyError, match="unknown link"):
+            scheduler.attach_attack("not-a-node", "relay-0", InterceptResendAttack(1.0))
+        with pytest.raises(KeyError, match="unknown link"):
+            scheduler.detach_attack("relay-0", "not-a-node")
+
+    def test_managed_link_subset(self):
+        relays = make_relays()
+        managed = sorted(
+            tuple(sorted((e.node_a, e.node_b))) for e in relays.network.links()
+        )[:2]
+        scheduler = ReplenishmentScheduler(
+            relays, DeterministicRNG(1), ReplenishmentConfig(workers=1), links=managed
+        )
+        report = scheduler.run_epoch()
+        assert report.dispatched == managed
+        # Links outside the managed set are never known to this scheduler.
+        other = sorted(
+            tuple(sorted((e.node_a, e.node_b))) for e in relays.network.links()
+        )[-1]
+        with pytest.raises(KeyError, match="unknown link"):
+            scheduler.note_pressure(*other)
+        with pytest.raises(KeyError, match="not present in the mesh"):
+            ReplenishmentScheduler(
+                relays, DeterministicRNG(1), links=[("ghost-a", "ghost-b")]
+            )
+
+    def test_heap_selection_matches_full_sort_under_fuzz(self):
+        """Differential: the indexed ``select_links`` must emit exactly the
+        order a full composite-key sort over all managed links would."""
+        import random as pyrandom
+
+        relays = make_relays()
+        config = ReplenishmentConfig(
+            workers=1, pad_low_water_bits=2_048, pad_target_bits=16_384
+        )
+        scheduler = ReplenishmentScheduler(relays, DeterministicRNG(1), config)
+        fuzz = pyrandom.Random(42)
+        edges = sorted(scheduler._edges)
+
+        def reference(limit):
+            ranked = []
+            for key in edges:
+                edge = scheduler._edges[key]
+                pad = scheduler._pad_bits(edge)
+                if pad >= config.pad_target_bits:
+                    continue
+                rank = 0 if pad < config.pad_low_water_bits else 1
+                ranked.append(((rank, -scheduler._priority(edge), key), key, edge.usable))
+            ranked.sort()
+            emitted = [key for _, key, usable in ranked if usable]
+            return emitted[:limit] if limit is not None else emitted
+
+        for round_index in range(30):
+            for _ in range(3):  # mutate pads, pressure and usability
+                key = fuzz.choice(edges)
+                move = fuzz.random()
+                pad = relays.pad_for(*key)
+                if move < 0.4:
+                    relays.bank_pad(*key, bytes(fuzz.randrange(1, 2_000)))
+                elif move < 0.6 and pad.available_bytes > 16:
+                    pad.encrypt(bytes(8))
+                    relays.notify_pad_change(*key)
+                elif move < 0.8:
+                    scheduler.note_pressure(*key, amount=fuzz.random() * 10)
+                elif relays.network.link(*key).usable:
+                    relays.network.cut_link(*key)
+                else:
+                    relays.network.restore_link(*key)
+            limit = fuzz.choice([None, 1, 2, 5])
+            expected = reference(limit)
+            # select_links applies the config cap itself; vary it per round.
+            scheduler.config.max_links_per_epoch = limit
+            got = [
+                tuple(sorted((e.node_a, e.node_b))) for e in scheduler.select_links()
+            ]
+            assert got == expected, f"round {round_index}, limit {limit}"
+            for key in got:  # drained members return for the next round
+                scheduler._heap.push(key)
+        assert scheduler.selection_seconds > 0.0
 
 
 # --------------------------------------------------------------------- #

@@ -359,12 +359,14 @@ class TestFacade:
         with pytest.raises(ValueError, match="positive"):
             QKDSystem(seed=42).lanes(0)
 
-    def test_mesh_with_lanes_configures_replenishment(self):
+    def test_kms_config_with_lanes_configures_replenishment(self):
         mesh = QKDSystem(seed=7, n_endpoints=2, n_relays=1).mesh()
-        kms = mesh.with_lanes(max_links_per_epoch=8).kms()
+        config = KmsConfig().with_lanes(max_links_per_epoch=8)
+        kms = mesh.kms(config)
         replenishment = kms.config.replenishment
         assert replenishment.mode == "montecarlo"
         assert replenishment.backend == "lanes"
         assert replenishment.max_links_per_epoch == 8
-        # the builder is non-destructive: the original mesh is untouched
+        # the builder is non-destructive: the base config is untouched
+        assert KmsConfig().replenishment.backend != "lanes"
         assert mesh.kms().config.replenishment.backend != "lanes"
